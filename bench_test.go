@@ -1,0 +1,291 @@
+package domino
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md §3),
+// plus ablation benches for the design choices DESIGN.md §4 calls out.
+// Each benchmark regenerates its figure at bench scale and reports the
+// headline metric via b.ReportMetric, so `go test -bench=. -benchmem`
+// doubles as a compact reproduction run. EXPERIMENTS.md records the
+// full-scale numbers.
+
+import (
+	"testing"
+
+	"domino/internal/core"
+	"domino/internal/dram"
+	"domino/internal/experiments"
+	"domino/internal/prefetch"
+	"domino/internal/trace"
+	"domino/internal/workload"
+)
+
+// benchOptions is the scale used by the figure benches: large enough for
+// stable shapes, small enough to keep the whole suite to minutes.
+func benchOptions() experiments.Options {
+	return experiments.Options{Accesses: 300_000, Warmup: 150_000, Scale: 64}
+}
+
+// benchWorkloads picks three contrasting workloads for per-figure benches;
+// cmd/dominosim regenerates figures across all nine.
+func benchWorkloads() []string {
+	return []string{"OLTP", "Web Search", "MapReduce-W"}
+}
+
+func BenchmarkFig01Opportunity(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Opportunity(o)
+		b.ReportMetric(r.Coverage.Mean("sequitur")*100, "opportunity_%")
+		b.ReportMetric(r.Coverage.Mean("stms")*100, "stms_cov_%")
+	}
+}
+
+func BenchmarkFig02StreamLength(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Opportunity(o)
+		b.ReportMetric(r.StreamLength.Mean("sequitur"), "seq_stream")
+		b.ReportMetric(r.StreamLength.Mean("stms"), "stms_stream")
+		b.ReportMetric(r.StreamLength.Mean("digram"), "digram_stream")
+	}
+}
+
+func BenchmarkFig03LookupAccuracy(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Lookup(o)
+		b.ReportMetric(r.Accuracy.Mean("1-addr")*100, "acc1_%")
+		b.ReportMetric(r.Accuracy.Mean("2-addr")*100, "acc2_%")
+		b.ReportMetric(r.Accuracy.Mean("3-addr")*100, "acc3_%")
+	}
+}
+
+func BenchmarkFig04LookupMatch(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Lookup(o)
+		b.ReportMetric(r.MatchRate.Mean("1-addr")*100, "match1_%")
+		b.ReportMetric(r.MatchRate.Mean("2-addr")*100, "match2_%")
+	}
+}
+
+func BenchmarkFig05VaryLookup(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Lookup(o)
+		b.ReportMetric(r.Coverage.Mean("1-addr")*100, "cov1_%")
+		b.ReportMetric(r.Coverage.Mean("2-addr")*100, "cov2_%")
+		b.ReportMetric(r.Coverage.Mean("5-addr")*100, "cov5_%")
+	}
+}
+
+func BenchmarkFig09HTSweep(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = []string{"OLTP"}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Sensitivity(o)
+		series := r.HT.Series()
+		b.ReportMetric(r.HT.Mean(series[0])*100, "cov_smallHT_%")
+		b.ReportMetric(r.HT.Mean(series[len(series)-1])*100, "cov_bigHT_%")
+	}
+}
+
+func BenchmarkFig10EITSweep(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = []string{"OLTP"}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Sensitivity(o)
+		series := r.EIT.Series()
+		b.ReportMetric(r.EIT.Mean(series[0])*100, "cov_smallEIT_%")
+		b.ReportMetric(r.EIT.Mean(series[len(series)-1])*100, "cov_bigEIT_%")
+	}
+}
+
+func BenchmarkFig11Degree1(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Comparison(o, 1, true)
+		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
+		b.ReportMetric(r.Coverage.Mean("stms")*100, "stms_%")
+		b.ReportMetric(r.Coverage.Mean("sequitur")*100, "oracle_%")
+	}
+}
+
+func BenchmarkFig12Histogram(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Opportunity(o)
+		h := r.Histograms[o.Workloads[0]]
+		b.ReportMetric(h.FractionAtOrBelow(2)*100, "streams_le2_%")
+	}
+}
+
+func BenchmarkFig13Degree4(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Comparison(o, 4, false)
+		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
+		b.ReportMetric(r.Overpredictions.Mean("stms")*100, "stms_over_%")
+		b.ReportMetric(r.Overpredictions.Mean("domino")*100, "domino_over_%")
+	}
+}
+
+func BenchmarkFig14Speedup(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Speedup(o, 4)
+		b.ReportMetric(r.GMean["domino"], "domino_x")
+		b.ReportMetric(r.GMean["stms"], "stms_x")
+	}
+}
+
+func BenchmarkFig15Bandwidth(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Bandwidth(o, 4)
+		b.ReportMetric(r.Overhead.Value("stms", "total")*100, "stms_ovh_%")
+		b.ReportMetric(r.Overhead.Value("domino", "total")*100, "domino_ovh_%")
+	}
+}
+
+func BenchmarkFig16SpatioTemporal(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	for i := 0; i < b.N; i++ {
+		r := experiments.SpatioTemporal(o, 4)
+		b.ReportMetric(r.Coverage.Mean("vldp+domino")*100, "stacked_%")
+		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// runDominoVariant evaluates a Domino configuration variant on OLTP and
+// returns its coverage.
+func runDominoVariant(mod func(*core.Config) func(*core.Prefetcher)) float64 {
+	o := benchOptions()
+	wp := workload.ByName("OLTP")
+	cfg := core.ScaledConfig(4, o.Scale)
+	var post func(*core.Prefetcher)
+	if mod != nil {
+		post = mod(&cfg)
+	}
+	meter := &dram.Meter{}
+	p := core.New(cfg, meter)
+	if post != nil {
+		post(p)
+	}
+	ec := prefetch.DefaultEvalConfig()
+	ec.Meter = meter
+	tr := trace.Limit(workload.New(wp), o.Accesses)
+	return prefetch.RunWarm(tr, p, ec, o.Warmup).Coverage()
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(runDominoVariant(nil)*100, "cov_%")
+	}
+}
+
+// The paper (after Wenisch'09) argues sampled index updates match
+// always-update; at our shortened trace lengths the gap is visible.
+func BenchmarkAblationAlwaysUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			c.SampleOneIn = 1
+			return nil
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// Training on misses only (instead of all triggering events) starves the
+// history of covered misses and breaks recorded streams.
+func BenchmarkAblationTriggerMissOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			return func(p *core.Prefetcher) { p.SetMissOnlyTraining(true) }
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// Disabling the one-address first prefetch reduces Domino to a
+// Digram-like two-address-only design.
+func BenchmarkAblationNoFirstPrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			return func(p *core.Prefetcher) { p.SetFirstPrefetchDisabled(true) }
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// EIT geometry: one entry per super-entry cannot disambiguate aliased
+// streams; eight add little over the paper's three.
+func BenchmarkAblationEITEntries1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			c.Tables.EntriesPerSuper = 1
+			return nil
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+func BenchmarkAblationEITEntries8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			c.Tables.EntriesPerSuper = 8
+			return nil
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// Stream-end detection off: streams never retire, so stale streams hold
+// the four stream slots and issue useless refills.
+func BenchmarkAblationNoStreamEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cov := runDominoVariant(func(c *core.Config) func(*core.Prefetcher) {
+			c.StreamEndAfter = 1 << 30
+			return nil
+		})
+		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+func BenchmarkGeneratorThroughput(b *testing.B) {
+	g := workload.New(workload.ByName("OLTP"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkEvaluatorStep(b *testing.B) {
+	wp := workload.ByName("Web Apache")
+	meter := &dram.Meter{}
+	p := experiments.Build("domino", 4, meter, 64)
+	ec := prefetch.DefaultEvalConfig()
+	ec.Meter = meter
+	e := prefetch.NewEvaluator(p, ec)
+	g := workload.New(wp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := g.Next()
+		e.Step(a)
+	}
+}

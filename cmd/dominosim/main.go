@@ -1,0 +1,130 @@
+// Command dominosim runs the paper's experiments and ad-hoc evaluations.
+//
+// Run one experiment by figure id (see DESIGN.md §3 for the index):
+//
+//	dominosim -exp fig11
+//	dominosim -exp fig14 -accesses 2000000 -warmup 1000000 -scale 16
+//
+// Evaluate one prefetcher on one workload:
+//
+//	dominosim -eval -workload OLTP -prefetcher domino -degree 4
+//
+// Measure speedup or opportunity:
+//
+//	dominosim -speedup -workload "Web Search" -prefetcher stms
+//	dominosim -opportunity -workload OLTP
+//
+// List available experiments, workloads and prefetchers:
+//
+//	dominosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"domino"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "", "experiment to run (fig1..fig16); empty for other modes")
+		evalMode    = flag.Bool("eval", false, "evaluate one prefetcher on one workload")
+		speedup     = flag.Bool("speedup", false, "measure timing speedup for one prefetcher")
+		opportunity = flag.Bool("opportunity", false, "measure Sequitur opportunity for one workload")
+		list        = flag.Bool("list", false, "list experiments, workloads and prefetchers")
+		workloadF   = flag.String("workload", "", "workload name (empty = all, where applicable)")
+		prefetcher  = flag.String("prefetcher", "domino", "prefetcher kind")
+		degree      = flag.Int("degree", 4, "prefetch degree")
+		accesses    = flag.Int("accesses", 2_000_000, "trace length per workload, including warmup")
+		warmup      = flag.Int("warmup", 1_000_000, "warmup accesses excluded from measurement")
+		scale       = flag.Int("scale", 16, "metadata-table scale divisor (paper size / scale)")
+		traceFile   = flag.String("trace", "", "with -eval: evaluate on a binary trace file instead of a synthetic workload")
+		samples     = flag.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
+		format      = flag.String("format", "table", "with -exp: output format (table, csv, bars)")
+	)
+	flag.Parse()
+
+	o := domino.Options{Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale}
+
+	switch {
+	case *list:
+		fmt.Println("experiments:", join(domino.Experiments()))
+		fmt.Println("workloads:  ", strings.Join(domino.Workloads(), ", "))
+		fmt.Println("prefetchers:", join(domino.Kinds()))
+	case *exp != "":
+		var ws []string
+		if *workloadF != "" {
+			ws = []string{*workloadF}
+		}
+		out, err := domino.RunExperimentFormat(domino.Experiment(*exp), o, domino.Format(*format), ws...)
+		fail(err)
+		fmt.Print(out)
+	case *evalMode && *traceFile != "":
+		f, err := os.Open(*traceFile)
+		fail(err)
+		defer f.Close()
+		rep, err := domino.EvaluateTraceFile(f, *traceFile, domino.Kind(*prefetcher), o)
+		fail(err)
+		fmt.Printf("%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% misses=%d\n",
+			rep.Workload, rep.Prefetcher, rep.Coverage*100, rep.Overprediction*100,
+			rep.Accuracy*100, rep.Misses)
+	case *evalMode:
+		for _, w := range pick(*workloadF) {
+			rep, err := domino.Evaluate(w, domino.Kind(*prefetcher), o)
+			fail(err)
+			fmt.Printf("%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% traffic-overhead=%5.1f%% misses=%d\n",
+				rep.Workload, rep.Prefetcher, rep.Coverage*100, rep.Overprediction*100,
+				rep.Accuracy*100, rep.TrafficOverhead*100, rep.Misses)
+		}
+	case *speedup && *samples > 1:
+		for _, w := range pick(*workloadF) {
+			ci, err := domino.MeasureSpeedupCI(w, domino.Kind(*prefetcher), o, *samples)
+			fail(err)
+			fmt.Printf("%-16s %-12s speedup=%.3f ±%.3f (95%% CI, %d samples, err %.1f%%)\n",
+				w, *prefetcher, ci.Mean, ci.CI95, *samples, ci.RelativeError*100)
+		}
+	case *speedup:
+		for _, w := range pick(*workloadF) {
+			rep, err := domino.MeasureSpeedup(w, domino.Kind(*prefetcher), o)
+			fail(err)
+			fmt.Printf("%-16s %-12s baseline-IPC=%.3f IPC=%.3f speedup=%.3f\n",
+				rep.Workload, rep.Prefetcher, rep.BaselineIPC, rep.IPC, rep.Speedup)
+		}
+	case *opportunity:
+		for _, w := range pick(*workloadF) {
+			rep, err := domino.MeasureOpportunity(w, o)
+			fail(err)
+			fmt.Printf("%-16s opportunity=%5.1f%% mean-stream=%.2f short-streams=%5.1f%% misses=%d\n",
+				rep.Workload, rep.Coverage*100, rep.MeanStreamLength,
+				rep.ShortStreamFraction*100, rep.Misses)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func pick(workload string) []string {
+	if workload != "" {
+		return []string{workload}
+	}
+	return domino.Workloads()
+}
+
+func join[T ~string](xs []T) string {
+	ss := make([]string, len(xs))
+	for i, x := range xs {
+		ss[i] = string(x)
+	}
+	return strings.Join(ss, ", ")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dominosim:", err)
+		os.Exit(1)
+	}
+}

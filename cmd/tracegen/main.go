@@ -1,0 +1,47 @@
+// Command tracegen writes a synthetic server-workload access trace to a
+// binary trace file that cmd/traceinfo and external tools can consume.
+//
+//	tracegen -workload OLTP -accesses 1000000 -out oltp.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"domino/internal/trace"
+	"domino/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "OLTP", "workload name (see dominosim -list)")
+		accesses = flag.Int("accesses", 1_000_000, "number of accesses to generate")
+		out      = flag.String("out", "", "output file (required)")
+		seed     = flag.Int64("seed", 0, "override the workload's seed (0 = calibrated default)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
+		os.Exit(2)
+	}
+	p := workload.ByName(*name)
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	tr := trace.Collect(trace.Limit(workload.New(p), *accesses), *accesses)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d accesses of %q to %s\n", tr.Len(), p.Name, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

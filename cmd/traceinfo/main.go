@@ -1,0 +1,71 @@
+// Command traceinfo summarises a binary trace file written by tracegen:
+// gross statistics, the L1-D miss profile, and the Sequitur temporal
+// opportunity of the miss sequence.
+//
+//	traceinfo -in oltp.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"domino/internal/prefetch"
+	"domino/internal/sequitur"
+	"domino/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "trace file (required)")
+		analyse  = flag.Bool("sequitur", true, "run the Sequitur opportunity analysis")
+		maxLines = flag.Int("max", 0, "analyse at most this many accesses (0 = all)")
+		grammar  = flag.Int("grammar", 0, "print the N longest repeated streams (Sequitur rules)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceinfo: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxLines > 0 && tr.Len() > *maxLines {
+		tr.Accesses = tr.Accesses[:*maxLines]
+	}
+	fmt.Println(trace.Summarize(tr))
+
+	misses := prefetch.MissLines(tr.Reader(), prefetch.DefaultEvalConfig())
+	fmt.Printf("L1-D misses: %d (%.1f%% of accesses)\n",
+		len(misses), 100*float64(len(misses))/float64(tr.Len()))
+
+	if *analyse {
+		syms := make([]uint64, len(misses))
+		for i, l := range misses {
+			syms[i] = uint64(l)
+		}
+		g := sequitur.New()
+		g.AppendAll(syms)
+		a := g.Analyze()
+		fmt.Printf("temporal opportunity: %.1f%% covered, %d streams, mean length %.2f\n",
+			a.Coverage()*100, a.Streams, a.MeanStreamLength())
+		fmt.Printf("stream-length CDF: %s\n", a.Hist)
+		if *grammar > 0 {
+			fmt.Printf("longest repeated streams (%d of %d rules):\n", *grammar, g.Rules()-1)
+			for _, p := range g.Productions(*grammar)[1:] {
+				fmt.Println(" ", p)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

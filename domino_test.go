@@ -1,0 +1,172 @@
+package domino
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"domino/internal/trace"
+	"domino/internal/workload"
+)
+
+func tiny() Options {
+	return Options{Degree: 4, Accesses: 50_000, Warmup: 20_000, Scale: 128}
+}
+
+func TestEvaluateAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		rep, err := Evaluate("OLTP", k, tiny())
+		if err != nil {
+			t.Fatalf("Evaluate(%s): %v", k, err)
+		}
+		if rep.Misses == 0 {
+			t.Fatalf("%s: no misses measured", k)
+		}
+		if rep.Coverage < 0 || rep.Coverage > 1 {
+			t.Fatalf("%s coverage = %v", k, rep.Coverage)
+		}
+	}
+}
+
+func TestEvaluateNullCoversNothing(t *testing.T) {
+	rep, err := Evaluate("Web Apache", None, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage != 0 || rep.Overprediction != 0 {
+		t.Fatalf("null prefetcher produced activity: %+v", rep)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate("Nope", Domino, tiny()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Evaluate("OLTP", Kind("nope"), tiny()); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMeasureSpeedup(t *testing.T) {
+	rep, err := MeasureSpeedup("OLTP", Domino, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineIPC <= 0 || rep.BaselineIPC > 4.05 {
+		t.Fatalf("baseline IPC %v", rep.BaselineIPC)
+	}
+	if rep.Speedup < 0.8 || rep.Speedup > 10 {
+		t.Fatalf("speedup %v implausible", rep.Speedup)
+	}
+}
+
+func TestMeasureOpportunity(t *testing.T) {
+	rep, err := MeasureOpportunity("Web Search", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage <= 0 || rep.Coverage >= 1 {
+		t.Fatalf("opportunity %v", rep.Coverage)
+	}
+	if rep.MeanStreamLength < 2 {
+		t.Fatalf("stream length %v", rep.MeanStreamLength)
+	}
+	if rep.ShortStreamFraction < 0 || rep.ShortStreamFraction > 1 {
+		t.Fatalf("short fraction %v", rep.ShortStreamFraction)
+	}
+}
+
+func TestWorkloadsAndKinds(t *testing.T) {
+	if len(Workloads()) != 9 {
+		t.Fatalf("Workloads = %v", Workloads())
+	}
+	if len(Kinds()) != 10 {
+		t.Fatalf("Kinds = %v", Kinds())
+	}
+}
+
+func TestOptionsNormalised(t *testing.T) {
+	o := Options{}.normalised()
+	if o.Degree != 4 || o.Accesses == 0 || o.Warmup == 0 || o.Scale == 0 {
+		t.Fatalf("normalised = %+v", o)
+	}
+	// Warmup must stay below Accesses.
+	o = Options{Accesses: 100, Warmup: 200}.normalised()
+	if o.Warmup >= o.Accesses {
+		t.Fatalf("warmup %d >= accesses %d", o.Warmup, o.Accesses)
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	// Run a fast subset of experiments end to end on one workload.
+	for _, exp := range []Experiment{ExpFig2StreamLength, ExpFig4LookupMatch, ExpFig12Histogram} {
+		out, err := RunExperiment(exp, tiny(), "MapReduce-W")
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, "MapReduce-W") {
+			t.Fatalf("%s output missing workload: %q", exp, out)
+		}
+	}
+	if _, err := RunExperiment(Experiment("nope"), tiny()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Experiments()) != 18 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+}
+
+func TestEvaluateTraceFile(t *testing.T) {
+	// Round-trip: generate a workload trace to a buffer, evaluate from it.
+	var buf bytes.Buffer
+	tr := trace.Collect(trace.Limit(workload.New(workload.ByName("OLTP")), 30_000), 0)
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateTraceFile(&buf, "oltp.trc", Domino, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "oltp.trc" || rep.Misses == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Bad input surfaces as an error, not a panic.
+	if _, err := EvaluateTraceFile(bytes.NewReader([]byte("garbagegarbage1234")), "x", Domino, tiny()); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+}
+
+func TestMeasureSpeedupCI(t *testing.T) {
+	ci, err := MeasureSpeedupCI("MapReduce-W", STMS, tiny(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Samples) != 2 || ci.Mean <= 0 {
+		t.Fatalf("ci = %+v", ci)
+	}
+	if _, err := MeasureSpeedupCI("nope", STMS, tiny(), 2); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunExperimentFormat(t *testing.T) {
+	out, err := RunExperimentFormat(ExpFig2StreamLength, tiny(), FormatCSV, "MapReduce-W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "workload,stms,digram,sequitur") {
+		t.Fatalf("csv = %q", out)
+	}
+	out, err = RunExperimentFormat(ExpFig2StreamLength, tiny(), FormatBars, "MapReduce-W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("bars = %q", out)
+	}
+	// Non-grid experiments fall back to native rendering.
+	out, err = RunExperimentFormat(ExpTableI, tiny(), FormatCSV)
+	if err != nil || !strings.Contains(out, "Table I") {
+		t.Fatalf("fallback = %q err=%v", out, err)
+	}
+}

@@ -1,0 +1,41 @@
+package domino_test
+
+import (
+	"fmt"
+
+	"domino"
+)
+
+// ExampleEvaluate evaluates Domino on a tiny OLTP trace. Real runs use
+// domino.DefaultOptions(); the tiny options here keep the example fast.
+func ExampleEvaluate() {
+	opt := domino.Options{Degree: 4, Accesses: 40_000, Warmup: 20_000, Scale: 256}
+	rep, err := domino.Evaluate("OLTP", domino.Domino, opt)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Workload, rep.Prefetcher, rep.Misses > 0)
+	// Output: OLTP domino true
+}
+
+// ExampleWorkloads lists the paper's Table II roster.
+func ExampleWorkloads() {
+	for _, w := range domino.Workloads()[:3] {
+		fmt.Println(w)
+	}
+	// Output:
+	// Data Serving
+	// MapReduce-C
+	// MapReduce-W
+}
+
+// ExampleRunExperiment renders the paper's Table I from the live
+// configuration.
+func ExampleRunExperiment() {
+	out, err := domino.RunExperiment(domino.ExpTableI, domino.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[:30])
+	// Output: Table I: evaluation parameters
+}

@@ -1,0 +1,44 @@
+// Comparison: reproduce the core of the paper's Figure 11/13 comparison on
+// a chosen workload — every prefetcher's coverage and overpredictions side
+// by side, against the Sequitur opportunity.
+//
+//	go run ./examples/comparison [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"domino"
+)
+
+func main() {
+	workload := "Web Search"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	opt := domino.QuickOptions()
+
+	opp, err := domino.MeasureOpportunity(workload, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, degree %d, %d misses analysed\n", workload, opt.Degree, opp.Misses)
+	fmt.Printf("%-14s %10s %10s %10s %8s\n", "prefetcher", "coverage", "overpred", "accuracy", "stream")
+	for _, kind := range []domino.Kind{
+		domino.Stride, domino.Markov, domino.GHB, domino.VLDP, domino.ISB,
+		domino.STMS, domino.Digram, domino.Domino,
+	} {
+		rep, err := domino.Evaluate(workload, kind, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %9.1f%% %9.1f%% %9.1f%% %8.2f\n",
+			kind, rep.Coverage*100, rep.Overprediction*100, rep.Accuracy*100,
+			rep.MeanStreamLength)
+	}
+	fmt.Printf("%-14s %9.1f%%        (oracle: repeated-stream misses)\n",
+		"sequitur", opp.Coverage*100)
+}

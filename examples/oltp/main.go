@@ -1,0 +1,50 @@
+// OLTP deep-dive: the workload where temporal prefetching matters most.
+// TPC-C-style transaction processing is dominated by dependent (pointer
+// chasing) misses that serialise the core; this example shows why
+// single-address lookup (STMS) picks wrong streams on OLTP's aliased
+// B-tree descents and how Domino's two-address disambiguation recovers the
+// difference — the paper's 19-point OLTP coverage gap at degree 4.
+//
+//	go run ./examples/oltp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"domino"
+)
+
+func main() {
+	opt := domino.QuickOptions()
+
+	fmt.Println("=== OLTP: dependent misses and aliased streams ===")
+	opp, err := domino.MeasureOpportunity("OLTP", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("temporal opportunity: %.1f%% of misses, mean stream %.2f, %.0f%% of streams <= 2\n\n",
+		opp.Coverage*100, opp.MeanStreamLength, opp.ShortStreamFraction*100)
+
+	type row struct {
+		kind domino.Kind
+		why  string
+	}
+	for _, r := range []row{
+		{domino.STMS, "single-address lookup: picks whichever aliased stream ran last"},
+		{domino.Digram, "two-address lookup: right stream, but skips each stream's first two misses"},
+		{domino.Domino, "one+two-address lookup: immediate first prefetch, then disambiguation"},
+	} {
+		rep, err := domino.Evaluate("OLTP", r.kind, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := domino.MeasureSpeedup("OLTP", r.kind, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s coverage %5.1f%%  overpred %5.1f%%  speedup %.2fx\n",
+			r.kind, rep.Coverage*100, rep.Overprediction*100, sp.Speedup)
+		fmt.Printf("         %s\n\n", r.why)
+	}
+}

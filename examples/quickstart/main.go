@@ -1,0 +1,42 @@
+// Quickstart: evaluate the Domino prefetcher on one server workload and
+// print the headline metrics of the paper — coverage, overpredictions, and
+// speedup over a system with no data prefetcher.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"domino"
+)
+
+func main() {
+	opt := domino.QuickOptions() // small trace: runs in a few seconds
+
+	rep, err := domino.Evaluate("OLTP", domino.Domino, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Domino on %s (degree %d):\n", rep.Workload, opt.Degree)
+	fmt.Printf("  coverage:          %5.1f%% of L1-D misses eliminated\n", rep.Coverage*100)
+	fmt.Printf("  overpredictions:   %5.1f%% of baseline misses\n", rep.Overprediction*100)
+	fmt.Printf("  accuracy:          %5.1f%% of issued prefetches consumed\n", rep.Accuracy*100)
+	fmt.Printf("  mean stream:       %.2f consecutive correct prefetches\n", rep.MeanStreamLength)
+
+	sp, err := domino.MeasureSpeedup("OLTP", domino.Domino, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  speedup:           %.2fx over no prefetcher (IPC %.3f -> %.3f)\n",
+		sp.Speedup, sp.BaselineIPC, sp.IPC)
+
+	opp, err := domino.MeasureOpportunity("OLTP", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  temporal opportunity (Sequitur oracle): %5.1f%%\n", opp.Coverage*100)
+	fmt.Printf("  Domino captures %.0f%% of the opportunity\n",
+		100*rep.Coverage/opp.Coverage)
+}

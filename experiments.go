@@ -1,0 +1,199 @@
+package domino
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"domino/internal/experiments"
+)
+
+// Experiment identifies one reproducible figure or analysis of the paper.
+type Experiment string
+
+// The paper's experiments, keyed by figure number. RunExperiment renders
+// each as text; bench_test.go wraps each in a benchmark.
+const (
+	ExpFig1Opportunity    Experiment = "fig1"  // coverage vs opportunity
+	ExpFig2StreamLength   Experiment = "fig2"  // mean stream lengths
+	ExpFig3LookupAccuracy Experiment = "fig3"  // accuracy vs matched addresses
+	ExpFig4LookupMatch    Experiment = "fig4"  // match rate vs matched addresses
+	ExpFig5VaryLookup     Experiment = "fig5"  // N-address-fallback prefetcher
+	ExpFig9HTSweep        Experiment = "fig9"  // coverage vs HT entries
+	ExpFig10EITSweep      Experiment = "fig10" // coverage vs EIT rows
+	ExpFig11Degree1       Experiment = "fig11" // full comparison, degree 1
+	ExpFig12Histogram     Experiment = "fig12" // stream-length histogram
+	ExpFig13Degree4       Experiment = "fig13" // full comparison, degree 4
+	ExpFig14Speedup       Experiment = "fig14" // timing speedups
+	ExpFig15Bandwidth     Experiment = "fig15" // traffic overhead breakdown
+	ExpFig16SpatioTempo   Experiment = "fig16" // VLDP + Domino stacking
+	// ExpBandwidthUtil is the Section V-D text study: consumed bandwidth
+	// and utilisation on the four-core chip.
+	ExpBandwidthUtil Experiment = "vd-bandwidth"
+	// ExpTableI and ExpTableII render the paper's configuration tables
+	// from the live configuration structs.
+	ExpTableI  Experiment = "table1"
+	ExpTableII Experiment = "table2"
+	// ExpAblations re-runs Domino with one design choice altered at a
+	// time (DESIGN.md §4).
+	ExpAblations Experiment = "ablations"
+	// ExpDegreeSweep extends Figs. 11/13 across degrees 1-8.
+	ExpDegreeSweep Experiment = "ext-degree"
+)
+
+// Experiments lists every experiment in figure order.
+func Experiments() []Experiment {
+	return []Experiment{
+		ExpFig1Opportunity, ExpFig2StreamLength, ExpFig3LookupAccuracy,
+		ExpFig4LookupMatch, ExpFig5VaryLookup, ExpFig9HTSweep,
+		ExpFig10EITSweep, ExpFig11Degree1, ExpFig12Histogram,
+		ExpFig13Degree4, ExpFig14Speedup, ExpFig15Bandwidth,
+		ExpFig16SpatioTempo, ExpBandwidthUtil, ExpTableI, ExpTableII,
+		ExpAblations, ExpDegreeSweep,
+	}
+}
+
+// RunExperiment executes one of the paper's experiments at the given scale
+// and returns the rendered result tables. workloads narrows the run; empty
+// means all nine.
+func RunExperiment(exp Experiment, o Options, workloads ...string) (string, error) {
+	o = o.normalised()
+	eo := o.experimentOptions(workloads...)
+	switch exp {
+	case ExpFig1Opportunity:
+		return experiments.Opportunity(eo).Coverage.String(), nil
+	case ExpFig2StreamLength:
+		return experiments.Opportunity(eo).StreamLength.String(), nil
+	case ExpFig3LookupAccuracy:
+		return experiments.Lookup(eo).Accuracy.String(), nil
+	case ExpFig4LookupMatch:
+		return experiments.Lookup(eo).MatchRate.String(), nil
+	case ExpFig5VaryLookup:
+		r := experiments.Lookup(eo)
+		return r.Coverage.String() + "\n" + r.Overpred.String(), nil
+	case ExpFig9HTSweep:
+		return experiments.Sensitivity(eo).HT.String(), nil
+	case ExpFig10EITSweep:
+		return experiments.Sensitivity(eo).EIT.String(), nil
+	case ExpFig11Degree1:
+		r := experiments.Comparison(eo, 1, true)
+		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
+	case ExpFig12Histogram:
+		return experiments.Opportunity(eo).HistogramTable(), nil
+	case ExpFig13Degree4:
+		r := experiments.Comparison(eo, 4, false)
+		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
+	case ExpFig14Speedup:
+		r := experiments.Speedup(eo, 4)
+		var b strings.Builder
+		b.WriteString(r.Speedup.String())
+		names := make([]string, 0, len(r.GMean))
+		for n := range r.GMean {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("GMean speedups: ")
+		for i, n := range names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %.3f", n, r.GMean[n])
+		}
+		b.WriteString("\n")
+		return b.String(), nil
+	case ExpFig15Bandwidth:
+		r := experiments.Bandwidth(eo, 4)
+		return r.Overhead.String() + "\n" + r.PerWorkload.String(), nil
+	case ExpFig16SpatioTempo:
+		return experiments.SpatioTemporal(eo, 4).Coverage.String(), nil
+	case ExpBandwidthUtil:
+		r := experiments.Utilization(eo, 4)
+		return r.BaselineGBps.String() + "\n" + r.Utilization.String(), nil
+	case ExpTableI:
+		return experiments.TableI(), nil
+	case ExpTableII:
+		return experiments.TableII(), nil
+	case ExpAblations:
+		return experiments.Ablations(eo, 4).Coverage.String(), nil
+	case ExpDegreeSweep:
+		r := experiments.DegreeSweep(eo, nil, nil)
+		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
+	default:
+		return "", fmt.Errorf("domino: unknown experiment %q (have %v)", exp, Experiments())
+	}
+}
+
+// Format selects how RunExperimentFormat renders an experiment's grids.
+type Format string
+
+// The supported output formats: the paper-style aligned table, CSV for
+// external plotting, and grouped ASCII bar charts.
+const (
+	FormatTable Format = "table"
+	FormatCSV   Format = "csv"
+	FormatBars  Format = "bars"
+)
+
+// RunExperimentFormat is RunExperiment with a selectable output format.
+// Experiments that do not produce grids (table1, table2, fig12's histogram)
+// render their native text regardless of format.
+func RunExperimentFormat(exp Experiment, o Options, f Format, workloads ...string) (string, error) {
+	o = o.normalised()
+	eo := o.experimentOptions(workloads...)
+	render := func(gs ...*experiments.Grid) string {
+		var b strings.Builder
+		for i, g := range gs {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			switch f {
+			case FormatCSV:
+				b.WriteString(g.Title + "\n")
+				b.WriteString(g.CSV())
+			case FormatBars:
+				b.WriteString(g.Bars(40))
+			default:
+				b.WriteString(g.String())
+			}
+		}
+		return b.String()
+	}
+	switch exp {
+	case ExpFig1Opportunity:
+		return render(experiments.Opportunity(eo).Coverage), nil
+	case ExpFig2StreamLength:
+		return render(experiments.Opportunity(eo).StreamLength), nil
+	case ExpFig3LookupAccuracy:
+		return render(experiments.Lookup(eo).Accuracy), nil
+	case ExpFig4LookupMatch:
+		return render(experiments.Lookup(eo).MatchRate), nil
+	case ExpFig5VaryLookup:
+		r := experiments.Lookup(eo)
+		return render(r.Coverage, r.Overpred), nil
+	case ExpFig9HTSweep:
+		return render(experiments.Sensitivity(eo).HT), nil
+	case ExpFig10EITSweep:
+		return render(experiments.Sensitivity(eo).EIT), nil
+	case ExpFig11Degree1:
+		r := experiments.Comparison(eo, 1, true)
+		return render(r.Coverage, r.Overpredictions), nil
+	case ExpFig13Degree4:
+		r := experiments.Comparison(eo, 4, false)
+		return render(r.Coverage, r.Overpredictions), nil
+	case ExpFig14Speedup:
+		return render(experiments.Speedup(eo, 4).Speedup), nil
+	case ExpFig15Bandwidth:
+		r := experiments.Bandwidth(eo, 4)
+		return render(r.Overhead, r.PerWorkload), nil
+	case ExpFig16SpatioTempo:
+		return render(experiments.SpatioTemporal(eo, 4).Coverage), nil
+	case ExpBandwidthUtil:
+		r := experiments.Utilization(eo, 4)
+		return render(r.BaselineGBps, r.Utilization), nil
+	case ExpAblations:
+		return render(experiments.Ablations(eo, 4).Coverage), nil
+	default:
+		// Non-grid experiments fall back to the native rendering.
+		return RunExperiment(exp, o, workloads...)
+	}
+}

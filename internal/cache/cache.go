@@ -1,0 +1,185 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy (Table I): per-core 64 KB 2-way L1-D caches and the
+// shared 4 MB 16-way LLC, plus MSHR occupancy bookkeeping for the timing
+// model. The caches operate on cache-line numbers (mem.Line); byte offsets
+// never reach this layer.
+package cache
+
+import (
+	"fmt"
+
+	"domino/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LineBytes is the line size; all caches in the simulator use
+	// mem.LineSize.
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// L1D returns the Table I L1 data cache configuration.
+func L1D() Config { return Config{SizeBytes: 64 << 10, Ways: 2, LineBytes: mem.LineSize} }
+
+// L2 returns the Table I LLC configuration.
+func L2() Config { return Config{SizeBytes: 4 << 20, Ways: 16, LineBytes: mem.LineSize} }
+
+// way holds one line within a set.
+type way struct {
+	line  mem.Line
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It is a
+// functional (hit/miss) model; latency lives in the timing package.
+//
+// The zero value is not usable; construct with New.
+type Cache struct {
+	cfg     Config
+	setMask mem.Line
+	// sets is a single backing array sliced per set; within a set, ways
+	// are kept in LRU order with index 0 the most recently used. With at
+	// most 16 ways, move-to-front by copy is cheap and allocation-free.
+	sets []way
+
+	hits, misses, evictions, dirtyEvictions uint64
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration, which
+// is always a programming error in this codebase (configurations come from
+// internal/config constants or validated user flags).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:     cfg,
+		setMask: mem.Line(cfg.Sets() - 1),
+		sets:    make([]way, cfg.Sets()*cfg.Ways),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) set(line mem.Line) []way {
+	idx := int(line&c.setMask) * c.cfg.Ways
+	return c.sets[idx : idx+c.cfg.Ways]
+}
+
+// Contains reports whether line is present, without touching LRU state or
+// statistics. The prefetch framework uses it to filter redundant prefetch
+// candidates.
+func (c *Cache) Contains(line mem.Line) bool {
+	for _, w := range c.set(line) {
+		if w.valid && w.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access to line. On a hit it updates LRU order
+// and returns true. On a miss it returns false and does NOT insert the
+// line; the caller decides the fill (from prefetch buffer or memory) and
+// calls Insert, mirroring how the evaluator distinguishes fill sources.
+func (c *Cache) Access(line mem.Line, write bool) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			hit := set[i]
+			if write {
+				hit.dirty = true
+			}
+			copy(set[1:i+1], set[:i])
+			set[0] = hit
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Insert fills line into the cache as the most recently used way of its
+// set, evicting the LRU way if the set is full. It returns the evicted line
+// and true if a valid line was displaced.
+func (c *Cache) Insert(line mem.Line, write bool) (evicted mem.Line, wasValid bool) {
+	set := c.set(line)
+	last := len(set) - 1
+	victim := set[last]
+	if victim.valid {
+		c.evictions++
+		if victim.dirty {
+			c.dirtyEvictions++
+		}
+		evicted, wasValid = victim.line, true
+	}
+	copy(set[1:], set[:last])
+	set[0] = way{line: line, valid: true, dirty: write}
+	return evicted, wasValid
+}
+
+// Invalidate removes line if present and reports whether it was present.
+func (c *Cache) Invalidate(line mem.Line) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = way{}
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports accumulated hit/miss/eviction counters.
+type Stats struct {
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, DirtyEvictions: c.dirtyEvictions}
+}
+
+// MissRatio returns misses / (hits+misses), or 0 before any access.
+func (c *Cache) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and counters, keeping the configuration.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = way{}
+	}
+	c.hits, c.misses, c.evictions, c.dirtyEvictions = 0, 0, 0, 0
+}

@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domino/internal/mem"
+)
+
+func TestConfigGeometry(t *testing.T) {
+	if L1D().Sets() != 512 {
+		t.Fatalf("L1D sets = %d, want 512", L1D().Sets())
+	}
+	if L2().Sets() != 4096 {
+		t.Fatalf("L2 sets = %d, want 4096", L2().Sets())
+	}
+	if err := L1D().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{SizeBytes: 100, Ways: 3, LineBytes: 64}
+	if bad.Validate() == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 12, Ways: 2, LineBytes: 64})
+	line := mem.Line(42)
+	if c.Access(line, false) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(line, false)
+	if !c.Access(line, false) {
+		t.Fatal("miss after insert")
+	}
+	if !c.Contains(line) {
+		t.Fatal("Contains false after insert")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache: three lines mapping to the same set evict the LRU.
+	cfg := Config{SizeBytes: 64 * 2 * 4, Ways: 2, LineBytes: 64} // 4 sets
+	c := New(cfg)
+	sets := mem.Line(cfg.Sets())
+	a, b, d := mem.Line(0), sets, 2*sets // same set 0
+	c.Insert(a, false)
+	c.Insert(b, false)
+	c.Access(a, false) // a is now MRU
+	evicted, was := c.Insert(d, false)
+	if !was || evicted != b {
+		t.Fatalf("evicted %v (valid=%v), want %v", evicted, was, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 2, Ways: 2, LineBytes: 64} // 1 set
+	c := New(cfg)
+	c.Insert(1, true) // dirty
+	c.Insert(2, false)
+	c.Insert(3, false) // evicts 1 (LRU, dirty)
+	st := c.Stats()
+	if st.Evictions != 1 || st.DirtyEvictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 12, Ways: 2, LineBytes: 64})
+	c.Insert(7, false)
+	if !c.Invalidate(7) {
+		t.Fatal("Invalidate miss")
+	}
+	if c.Contains(7) {
+		t.Fatal("line present after invalidate")
+	}
+	if c.Invalidate(7) {
+		t.Fatal("double invalidate")
+	}
+}
+
+func TestMissRatioAndReset(t *testing.T) {
+	c := New(Config{SizeBytes: 1 << 12, Ways: 2, LineBytes: 64})
+	c.Access(1, false) // miss
+	c.Insert(1, false)
+	c.Access(1, false) // hit
+	if c.MissRatio() != 0.5 {
+		t.Fatalf("MissRatio = %v", c.MissRatio())
+	}
+	c.Reset()
+	if c.MissRatio() != 0 || c.Contains(1) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// TestAgainstReferenceModel compares the cache against a naive map+slice LRU
+// model over random access sequences.
+func TestAgainstReferenceModel(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 4 * 8, Ways: 4, LineBytes: 64} // 8 sets, 4 ways
+	c := New(cfg)
+	type ref struct{ lines []mem.Line } // MRU at front
+	refs := make([]ref, cfg.Sets())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		line := mem.Line(rng.Intn(64))
+		set := int(line) % cfg.Sets()
+		r := &refs[set]
+		refHit := false
+		for j, l := range r.lines {
+			if l == line {
+				refHit = true
+				copy(r.lines[1:j+1], r.lines[:j])
+				r.lines[0] = line
+				break
+			}
+		}
+		got := c.Access(line, false)
+		if got != refHit {
+			t.Fatalf("step %d line %v: cache hit=%v ref hit=%v", i, line, got, refHit)
+		}
+		if !got {
+			c.Insert(line, false)
+			r.lines = append([]mem.Line{line}, r.lines...)
+			if len(r.lines) > cfg.Ways {
+				r.lines = r.lines[:cfg.Ways]
+			}
+		}
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 2, Ways: 2, LineBytes: 64} // 1 set
+	c := New(cfg)
+	c.Insert(1, false)
+	c.Insert(2, false)
+	c.Contains(1) // must NOT promote 1
+	evicted, _ := c.Insert(3, false)
+	if evicted != 1 {
+		t.Fatalf("evicted %v; Contains promoted the line", evicted)
+	}
+}
+
+func TestQuickNoFalseHits(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := New(Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64})
+		seen := map[mem.Line]bool{}
+		for _, v := range raw {
+			line := mem.Line(v % 512)
+			hit := c.Access(line, false)
+			if hit && !seen[line] {
+				return false // hit on a never-inserted line
+			}
+			if !hit {
+				c.Insert(line, false)
+				seen[line] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package config holds the machine and prefetcher parameters of the paper's
+// evaluation (Table I and Section IV-D) as typed, documented configuration
+// structs. Every experiment starts from these defaults so that a reader can
+// cross-check each value against the paper.
+package config
+
+// Machine describes the simulated processor of Table I.
+type Machine struct {
+	// Cores is the number of cores on the chip (the paper evaluates a
+	// quad-core). The trace-based experiments evaluate the per-core
+	// prefetcher on a per-core miss stream; the timing experiments scale
+	// bandwidth across cores.
+	Cores int
+	// ClockGHz is the core frequency in GHz.
+	ClockGHz float64
+
+	// IssueWidth is the core issue/retire width.
+	IssueWidth int
+	// ROBEntries is the reorder-buffer size; it bounds how many
+	// instructions a core can slide past an outstanding miss, and hence
+	// the miss-level parallelism the timing model can extract.
+	ROBEntries int
+	// LSQEntries is the load/store-queue size.
+	LSQEntries int
+
+	// L1DSizeBytes, L1DWays: the per-core L1 data cache (64 KB 2-way).
+	L1DSizeBytes int
+	L1DWays      int
+	// L1DLoadToUse is the L1-D hit latency in cycles.
+	L1DLoadToUse int
+	// L1DMSHRs is the number of L1-D miss-status holding registers.
+	L1DMSHRs int
+
+	// L2SizeBytes, L2Ways: the shared LLC (4 MB 16-way).
+	L2SizeBytes int
+	L2Ways      int
+	// L2HitCycles is the LLC hit latency in cycles.
+	L2HitCycles int
+	// L2MSHRs is the number of LLC MSHRs.
+	L2MSHRs int
+
+	// MemLatencyNs is the main-memory access delay in nanoseconds.
+	MemLatencyNs float64
+	// MemPeakGBps is the chip's peak off-chip bandwidth in GB/s.
+	MemPeakGBps float64
+}
+
+// DefaultMachine returns the Table I configuration.
+func DefaultMachine() Machine {
+	return Machine{
+		Cores:        4,
+		ClockGHz:     4.0,
+		IssueWidth:   4,
+		ROBEntries:   128,
+		LSQEntries:   64,
+		L1DSizeBytes: 64 << 10,
+		L1DWays:      2,
+		L1DLoadToUse: 2,
+		L1DMSHRs:     32,
+		L2SizeBytes:  4 << 20,
+		L2Ways:       16,
+		L2HitCycles:  18,
+		L2MSHRs:      64,
+		MemLatencyNs: 45,
+		MemPeakGBps:  37.5,
+	}
+}
+
+// MemLatencyCycles returns the main-memory latency in core cycles.
+func (m Machine) MemLatencyCycles() int {
+	return int(m.MemLatencyNs * m.ClockGHz)
+}
+
+// Prefetch holds the prefetcher-framework parameters common to all
+// evaluated prefetchers (Section IV-D).
+type Prefetch struct {
+	// Degree is the prefetch degree: how many blocks a prefetcher may
+	// run ahead of the demand stream. The paper evaluates degree 1
+	// (Fig. 11) and degree 4 (Figs. 13-15).
+	Degree int
+	// BufferBlocks is the capacity of the small prefetch buffer near the
+	// L1-D that all prefetchers prefetch into (32 blocks).
+	BufferBlocks int
+	// ActiveStreams is the number of temporal streams STMS, Digram and
+	// Domino may follow concurrently (4).
+	ActiveStreams int
+	// SampleOneIn is the statistical index-update rate: one out of every
+	// SampleOneIn history writes also updates the index table (8, i.e. a
+	// 12.5% sampling probability).
+	SampleOneIn int
+	// StreamEndAfter retires an active stream after this many of its
+	// prefetches in a row go unused (the stream-end detection heuristic
+	// the paper borrows from Wenisch'09/Ferdman'08).
+	StreamEndAfter int
+}
+
+// DefaultPrefetch returns the Section IV-D framework parameters at the
+// paper's headline degree of 4.
+func DefaultPrefetch() Prefetch {
+	return Prefetch{
+		Degree:         4,
+		BufferBlocks:   32,
+		ActiveStreams:  4,
+		SampleOneIn:    8,
+		StreamEndAfter: 4,
+	}
+}
+
+// Domino holds the capacity parameters of Domino's off-chip metadata, from
+// the paper's sensitivity analysis (Section V-A) and practical design
+// (Section III-B).
+type Domino struct {
+	// HTEntries is the capacity of the History Table in triggering-event
+	// addresses. The paper settles on 16 M entries (85 MB).
+	HTEntries int
+	// HTRowEntries is the number of addresses per HT row; a row is one
+	// cache block worth of data (12 entries).
+	HTRowEntries int
+	// EITRows is the number of rows of the Enhanced Index Table. The
+	// paper settles on 2 M rows (128 MB).
+	EITRows int
+	// SuperEntriesPerRow is the number of (tag + entry-list)
+	// super-entries in one EIT row.
+	SuperEntriesPerRow int
+	// EntriesPerSuper is the number of (address, pointer) entries in a
+	// super-entry (3 in the paper's configuration).
+	EntriesPerSuper int
+}
+
+// DefaultDomino returns the paper's full-scale configuration: 16 M-entry HT
+// and 2 M-row EIT.
+func DefaultDomino() Domino {
+	return Domino{
+		HTEntries:          16 << 20,
+		HTRowEntries:       12,
+		EITRows:            2 << 20,
+		SuperEntriesPerRow: 4,
+		EntriesPerSuper:    3,
+	}
+}
+
+// ScaledDomino returns the paper configuration scaled down by factor f
+// (f >= 1) for laptop-scale traces. The experiment harness runs traces a
+// factor of ~16 shorter than the paper's, and scales the metadata tables by
+// the same factor so that the capacity-sensitivity shape (Figs. 9-10) is
+// preserved. f must be a power of two to keep row counts powers of two.
+func ScaledDomino(f int) Domino {
+	d := DefaultDomino()
+	if f < 1 {
+		f = 1
+	}
+	d.HTEntries /= f
+	if d.HTEntries < d.HTRowEntries {
+		d.HTEntries = d.HTRowEntries
+	}
+	d.EITRows /= f
+	if d.EITRows < 1 {
+		d.EITRows = 1
+	}
+	return d
+}
+
+// OnChipBuffers reports the fixed sizes of Domino's per-core on-chip
+// storage elements (Section IV-D): LogMiss 128 B, Prefetch Buffer 2 KB,
+// PointBuf 256 B, FetchBuf 64 B.
+type OnChipBuffers struct {
+	LogMissBytes        int
+	PrefetchBufferBytes int
+	PointBufBytes       int
+	FetchBufBytes       int
+}
+
+// DefaultOnChipBuffers returns the Section IV-D buffer sizes.
+func DefaultOnChipBuffers() OnChipBuffers {
+	return OnChipBuffers{
+		LogMissBytes:        128,
+		PrefetchBufferBytes: 2 << 10,
+		PointBufBytes:       256,
+		FetchBufBytes:       64,
+	}
+}

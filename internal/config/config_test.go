@@ -1,0 +1,72 @@
+package config
+
+import "testing"
+
+func TestDefaultMachineMatchesTableI(t *testing.T) {
+	m := DefaultMachine()
+	if m.Cores != 4 || m.ClockGHz != 4.0 {
+		t.Fatal("chip parameters")
+	}
+	if m.IssueWidth != 4 || m.ROBEntries != 128 || m.LSQEntries != 64 {
+		t.Fatal("core parameters")
+	}
+	if m.L1DSizeBytes != 64<<10 || m.L1DWays != 2 || m.L1DLoadToUse != 2 || m.L1DMSHRs != 32 {
+		t.Fatal("L1-D parameters")
+	}
+	if m.L2SizeBytes != 4<<20 || m.L2Ways != 16 || m.L2HitCycles != 18 || m.L2MSHRs != 64 {
+		t.Fatal("L2 parameters")
+	}
+	if m.MemLatencyNs != 45 || m.MemPeakGBps != 37.5 {
+		t.Fatal("memory parameters")
+	}
+}
+
+func TestMemLatencyCycles(t *testing.T) {
+	if got := DefaultMachine().MemLatencyCycles(); got != 180 {
+		t.Fatalf("MemLatencyCycles = %d, want 180 (45 ns at 4 GHz)", got)
+	}
+}
+
+func TestDefaultPrefetch(t *testing.T) {
+	p := DefaultPrefetch()
+	if p.Degree != 4 || p.BufferBlocks != 32 || p.ActiveStreams != 4 || p.SampleOneIn != 8 {
+		t.Fatalf("prefetch defaults = %+v", p)
+	}
+}
+
+func TestDefaultDominoMatchesPaper(t *testing.T) {
+	d := DefaultDomino()
+	if d.HTEntries != 16<<20 {
+		t.Fatalf("HT entries = %d, want 16M", d.HTEntries)
+	}
+	if d.EITRows != 2<<20 {
+		t.Fatalf("EIT rows = %d, want 2M", d.EITRows)
+	}
+	if d.HTRowEntries != 12 || d.EntriesPerSuper != 3 {
+		t.Fatalf("geometry = %+v", d)
+	}
+}
+
+func TestScaledDomino(t *testing.T) {
+	d := ScaledDomino(16)
+	if d.HTEntries != 1<<20 || d.EITRows != 128<<10 {
+		t.Fatalf("scaled = %+v", d)
+	}
+	// Degenerate factors clamp sanely.
+	d = ScaledDomino(0)
+	if d.HTEntries != 16<<20 {
+		t.Fatal("factor 0 should clamp to 1")
+	}
+	d = ScaledDomino(1 << 30)
+	if d.HTEntries < d.HTRowEntries || d.EITRows < 1 {
+		t.Fatalf("over-scaled = %+v", d)
+	}
+}
+
+func TestOnChipBuffers(t *testing.T) {
+	b := DefaultOnChipBuffers()
+	if b.LogMissBytes != 128 || b.PrefetchBufferBytes != 2<<10 ||
+		b.PointBufBytes != 256 || b.FetchBufBytes != 64 {
+		t.Fatalf("buffers = %+v", b)
+	}
+}

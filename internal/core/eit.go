@@ -1,0 +1,168 @@
+// Package core implements the Domino temporal data prefetcher — the
+// paper's contribution. Domino logically looks up the miss history with
+// both the last one and the last two triggering events: a single-address
+// lookup starts a tentative stream immediately (one off-chip round trip),
+// and the following triggering event disambiguates between the streams that
+// begin with the same address, using the successor addresses stored in the
+// Enhanced Index Table.
+package core
+
+import (
+	"domino/internal/mem"
+)
+
+// Entry is one (address, pointer) pair within a super-entry of the EIT: the
+// pointer to the most recent occurrence in the History Table of the
+// super-entry's tag followed by Addr (Figure 7).
+type Entry struct {
+	// Addr is the triggering event that followed the tag.
+	Addr mem.Line
+	// Ptr is the HT sequence number of Addr at that occurrence.
+	Ptr uint64
+}
+
+// superEntry groups the entries sharing a tag (the first address of the
+// pair). Entries are kept in MRU order; the most recent entry is the
+// stream Domino prefetches first when only one address is known.
+type superEntry struct {
+	tag     mem.Line
+	entries []Entry // index 0 is most recently used
+}
+
+// eitRow is one row of the EIT: a handful of super-entries in MRU order,
+// occupying one cache block in memory.
+type eitRow struct {
+	supers []*superEntry // index 0 is most recently used
+}
+
+// EIT is the Enhanced Index Table (Section III-B): a bucketised hash table
+// in main memory, indexed by a *single* triggering-event address, whose
+// rows hold super-entries of (successor address, HT pointer) pairs with
+// two-level LRU replacement — among super-entries within a row and among
+// entries within a super-entry.
+//
+// Rows are allocated lazily, so a full-scale 2 M-row table costs memory
+// proportional only to the rows actually touched.
+type EIT struct {
+	rows            []*eitRow
+	mask            uint64
+	shift           uint
+	supersPerRow    int
+	entriesPerSuper int
+	populatedRows   int
+}
+
+// NewEIT builds a table with the given geometry. rowCount is rounded up to
+// a power of two.
+func NewEIT(rowCount, supersPerRow, entriesPerSuper int) *EIT {
+	if rowCount < 1 {
+		rowCount = 1
+	}
+	n := 1
+	for n < rowCount {
+		n <<= 1
+	}
+	if supersPerRow < 1 {
+		supersPerRow = 1
+	}
+	if entriesPerSuper < 1 {
+		entriesPerSuper = 1
+	}
+	shift := uint(64)
+	for m := n; m > 1; m >>= 1 {
+		shift--
+	}
+	return &EIT{
+		rows:            make([]*eitRow, n),
+		mask:            uint64(n - 1),
+		shift:           shift,
+		supersPerRow:    supersPerRow,
+		entriesPerSuper: entriesPerSuper,
+	}
+}
+
+// Rows returns the row count.
+func (t *EIT) Rows() int { return len(t.rows) }
+
+// PopulatedRows returns how many rows have been allocated.
+func (t *EIT) PopulatedRows() int { return t.populatedRows }
+
+// rowIndex hashes a line address to a row. Fibonacci hashing with the
+// product's high bits keeps neighbouring lines from clustering in the same
+// rows.
+func (t *EIT) rowIndex(line mem.Line) uint64 {
+	if t.shift == 64 {
+		return 0
+	}
+	return (uint64(line) * 0x9E3779B97F4A7C15) >> t.shift & t.mask
+}
+
+// Lookup fetches the super-entry tagged with line, if present, returning a
+// copy of its entries in MRU order. The caller accounts the off-chip row
+// read; Lookup itself is functional. Lookup refreshes the super-entry's
+// LRU position, as the paper's replay path does when it brings the row into
+// PointBuf.
+func (t *EIT) Lookup(line mem.Line) ([]Entry, bool) {
+	row := t.rows[t.rowIndex(line)]
+	if row == nil {
+		return nil, false
+	}
+	for i, se := range row.supers {
+		if se.tag == line {
+			copy(row.supers[1:i+1], row.supers[:i])
+			row.supers[0] = se
+			out := make([]Entry, len(se.entries))
+			copy(out, se.entries)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Update records that triggering event tag was followed by next, whose HT
+// position is ptr — the sampled EIT update of the recording path: the row
+// is fetched into FetchBuf, the super-entry and entry are found or
+// allocated with LRU replacement, the pointer is refreshed, and both LRU
+// stacks are updated.
+func (t *EIT) Update(tag, next mem.Line, ptr uint64) {
+	idx := t.rowIndex(tag)
+	row := t.rows[idx]
+	if row == nil {
+		row = &eitRow{}
+		t.rows[idx] = row
+		t.populatedRows++
+	}
+
+	// Find or allocate the super-entry.
+	var se *superEntry
+	for i, cand := range row.supers {
+		if cand.tag == tag {
+			se = cand
+			copy(row.supers[1:i+1], row.supers[:i])
+			row.supers[0] = se
+			break
+		}
+	}
+	if se == nil {
+		se = &superEntry{tag: tag}
+		if len(row.supers) >= t.supersPerRow {
+			row.supers = row.supers[:t.supersPerRow-1] // drop LRU
+		}
+		row.supers = append([]*superEntry{se}, row.supers...)
+	}
+
+	// Find or allocate the entry for next.
+	for i := range se.entries {
+		if se.entries[i].Addr == next {
+			e := se.entries[i]
+			e.Ptr = ptr
+			copy(se.entries[1:i+1], se.entries[:i])
+			se.entries[0] = e
+			return
+		}
+	}
+	if len(se.entries) >= t.entriesPerSuper {
+		se.entries = se.entries[:t.entriesPerSuper-1]
+	}
+	se.entries = append([]Entry{{Addr: next, Ptr: ptr}}, se.entries...)
+}

@@ -1,0 +1,152 @@
+// Package digram implements the Digram temporal prefetcher from Wenisch's
+// Ph.D. thesis ("Temporal Memory Streaming", CMU 2007): a variant of
+// temporal memory streaming whose Index Table is keyed by the *pair* of the
+// last two triggering events rather than a single address.
+//
+// Two-address lookup picks longer, more accurate streams than STMS's
+// single-address lookup (Figure 2 of the paper), but a Digram stream cannot
+// begin until two of its accesses have already missed, so it issues one
+// fewer prefetch per stream — which is why the paper (and the thesis)
+// found it no better than STMS overall, and why Domino combines both
+// lookups instead.
+package digram
+
+import (
+	"domino/internal/dram"
+	"domino/internal/history"
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// Config parameterises Digram; the fields mirror stms.Config.
+type Config struct {
+	Degree         int
+	ActiveStreams  int
+	StreamEndAfter int
+	SampleOneIn    int
+	HTEntries      int
+	HTRowEntries   int
+	MaxRefillRows  int
+}
+
+// DefaultConfig returns the paper's Digram configuration: unlimited
+// metadata, four active streams, 12.5% sampling.
+func DefaultConfig(degree int) Config {
+	return Config{
+		Degree:         degree,
+		ActiveStreams:  4,
+		StreamEndAfter: 4,
+		SampleOneIn:    8,
+		HTEntries:      history.Unlimited,
+		HTRowEntries:   12,
+		MaxRefillRows:  32,
+	}
+}
+
+// pair is the two-address Index Table key.
+type pair struct{ prev, cur mem.Line }
+
+// Prefetcher is the Digram engine. Construct with New.
+type Prefetcher struct {
+	cfg     Config
+	ht      *history.Table
+	it      map[pair]uint64
+	sampler *history.Sampler
+	streams *prefetch.StreamSet
+	meter   *dram.Meter
+
+	prev    mem.Line
+	hasPrev bool
+}
+
+// New builds a Digram prefetcher. meter may be nil.
+func New(cfg Config, meter *dram.Meter) *Prefetcher {
+	if meter == nil {
+		meter = &dram.Meter{}
+	}
+	return &Prefetcher{
+		cfg:     cfg,
+		ht:      history.New(cfg.HTEntries, cfg.HTRowEntries, meter),
+		it:      make(map[pair]uint64),
+		sampler: history.NewSampler(cfg.SampleOneIn),
+		streams: prefetch.NewStreamSet(cfg.ActiveStreams, cfg.StreamEndAfter),
+		meter:   meter,
+	}
+}
+
+// Name returns "digram".
+func (p *Prefetcher) Name() string { return "digram" }
+
+// Trigger implements prefetch.Prefetcher.
+func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
+	out := p.replay(ev)
+	p.record(ev)
+	return out
+}
+
+func (p *Prefetcher) replay(ev prefetch.Event) []prefetch.Candidate {
+	if ev.Kind == mem.EventPrefetchHit {
+		if s := p.streams.OnPrefetchHit(ev.Line); s != nil {
+			return p.issue(s, 1, 0)
+		}
+		return nil
+	}
+
+	p.streams.OnMiss()
+	if !p.hasPrev {
+		return nil
+	}
+	// IT lookup with the (previous, current) pair: one off-chip read.
+	p.meter.RecordBlock(dram.MetadataRead)
+	ptr, ok := p.it[pair{p.prev, ev.Line}]
+	if !ok {
+		return nil
+	}
+	queue, next, ok := p.ht.RowAfter(ptr)
+	if !ok {
+		delete(p.it, pair{p.prev, ev.Line})
+		return nil
+	}
+	s := &prefetch.Stream{Queue: queue, Refill: p.refill(next)}
+	p.streams.Insert(s)
+	return p.issue(s, p.cfg.Degree, 2)
+}
+
+func (p *Prefetcher) refill(seq uint64) func() []mem.Line {
+	left := p.cfg.MaxRefillRows
+	return func() []mem.Line {
+		if left <= 0 {
+			return nil
+		}
+		left--
+		entries, next := p.ht.NextRow(seq)
+		seq = next
+		return entries
+	}
+}
+
+func (p *Prefetcher) issue(s *prefetch.Stream, n, delay int) []prefetch.Candidate {
+	var out []prefetch.Candidate
+	for len(out) < n {
+		line, ok := s.Next()
+		if !ok {
+			break
+		}
+		p.streams.Issued(s, line)
+		out = append(out, prefetch.Candidate{Line: line, Tag: p.Name(), Delay: delay})
+	}
+	return out
+}
+
+func (p *Prefetcher) record(ev prefetch.Event) {
+	seq := p.ht.Append(ev.Line)
+	if p.hasPrev && p.sampler.Sample() {
+		p.meter.RecordBlock(dram.MetadataRead)
+		p.meter.RecordBlock(dram.MetadataUpdate)
+		// The pointer marks the position of the pair's second element;
+		// replay starts with the addresses that followed the pair.
+		p.it[pair{p.prev, ev.Line}] = seq
+	}
+	p.prev = ev.Line
+	p.hasPrev = true
+}

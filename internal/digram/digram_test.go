@@ -1,0 +1,89 @@
+package digram
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func testConfig(degree int) Config {
+	cfg := DefaultConfig(degree)
+	cfg.SampleOneIn = 1
+	return cfg
+}
+
+func miss(l mem.Line) prefetch.Event {
+	return prefetch.Event{Line: l, Kind: mem.EventMiss}
+}
+func hit(l mem.Line) prefetch.Event {
+	return prefetch.Event{Line: l, Kind: mem.EventPrefetchHit}
+}
+
+func train(p *Prefetcher, lines ...mem.Line) {
+	for _, l := range lines {
+		p.Trigger(miss(l))
+	}
+}
+
+func TestPairLookupReplaysAfterPair(t *testing.T) {
+	p := New(testConfig(2), nil)
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8)
+	// Re-encounter the pair (1, 2): candidates are 3, 4 — Digram cannot
+	// cover 1 or 2 themselves (its structural handicap).
+	p.Trigger(miss(1))
+	out := p.Trigger(miss(2))
+	if len(out) != 2 || out[0].Line != 3 || out[1].Line != 4 {
+		t.Fatalf("candidates = %+v", out)
+	}
+	if out[0].Delay != 2 {
+		t.Fatalf("Delay = %d, want 2", out[0].Delay)
+	}
+}
+
+func TestPairDisambiguatesAliasedHeads(t *testing.T) {
+	p := New(testConfig(2), nil)
+	train(p, 1, 10, 11, 12, 99, 1, 20, 21, 22, 98)
+	// Pair (1, 10) identifies the older stream even though the most
+	// recent occurrence of 1 was followed by 20 — exactly what
+	// single-address STMS gets wrong.
+	p.Trigger(miss(1))
+	out := p.Trigger(miss(10))
+	if len(out) < 1 || out[0].Line != 11 {
+		t.Fatalf("candidates = %+v", out)
+	}
+}
+
+func TestFirstMissOfRunHasNoPair(t *testing.T) {
+	p := New(testConfig(2), nil)
+	if out := p.Trigger(miss(1)); len(out) != 0 {
+		t.Fatalf("first-ever miss produced candidates: %+v", out)
+	}
+}
+
+func TestUnseenPairNoMatch(t *testing.T) {
+	p := New(testConfig(2), nil)
+	train(p, 1, 2, 3, 9, 2, 7)
+	// Pair (3, 2) never occurred adjacently... it did not; (9,2) did.
+	p.Trigger(miss(3))
+	if out := p.Trigger(miss(5)); len(out) != 0 {
+		t.Fatalf("unseen pair matched: %+v", out)
+	}
+}
+
+func TestPrefetchHitAdvances(t *testing.T) {
+	p := New(testConfig(1), nil)
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8)
+	p.Trigger(miss(1))
+	p.Trigger(miss(2)) // stream starts: prefetch 3
+	out := p.Trigger(hit(3))
+	if len(out) != 1 || out[0].Line != 4 {
+		t.Fatalf("advance = %+v", out)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(testConfig(1), nil).Name() != "digram" {
+		t.Fatal("name")
+	}
+}

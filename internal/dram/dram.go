@@ -1,0 +1,143 @@
+// Package dram models the off-chip memory interface: a fixed access
+// latency and per-traffic-class byte accounting. The paper's Figure 15
+// decomposes off-chip traffic overhead into incorrect prefetches, metadata
+// updates, and metadata reads; the Meter in this package is the single
+// source of truth for that decomposition, shared by the trace-based
+// evaluator, the prefetchers (which record their own metadata traffic), and
+// the timing model (which converts bytes and cycles into GB/s).
+package dram
+
+import (
+	"fmt"
+	"strings"
+
+	"domino/internal/mem"
+)
+
+// Class labels one category of off-chip traffic.
+type Class uint8
+
+const (
+	// Demand is traffic for demand misses that reach memory.
+	Demand Class = iota
+	// PrefetchUseful is traffic for prefetched blocks that were later
+	// consumed by the core.
+	PrefetchUseful
+	// PrefetchWrong is traffic for prefetched blocks that were never
+	// consumed — the "Incorrect Prefetches" bar segment of Figure 15.
+	PrefetchWrong
+	// MetadataRead is prefetcher metadata fetched from memory (IT/EIT
+	// rows on lookup, HT rows on stream replay).
+	MetadataRead
+	// MetadataUpdate is prefetcher metadata written to memory (HT
+	// appends, sampled IT/EIT updates).
+	MetadataUpdate
+	// Writeback is dirty-eviction traffic.
+	Writeback
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case PrefetchUseful:
+		return "prefetch-useful"
+	case PrefetchWrong:
+		return "prefetch-wrong"
+	case MetadataRead:
+		return "metadata-read"
+	case MetadataUpdate:
+		return "metadata-update"
+	case Writeback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Meter accumulates off-chip transfers by class. The zero value is ready to
+// use.
+type Meter struct {
+	bytes     [numClasses]uint64
+	transfers [numClasses]uint64
+}
+
+// Record accounts one transfer of n bytes in class c.
+func (m *Meter) Record(c Class, n int) {
+	m.bytes[c] += uint64(n)
+	m.transfers[c]++
+}
+
+// RecordBlock accounts one cache-block transfer in class c. All metadata
+// table accesses in the paper's design move one cache block.
+func (m *Meter) RecordBlock(c Class) { m.Record(c, mem.LineSize) }
+
+// RecordBlocks accounts n cache-block transfers in class c.
+func (m *Meter) RecordBlocks(c Class, n uint64) {
+	m.bytes[c] += n * mem.LineSize
+	m.transfers[c] += n
+}
+
+// Bytes returns the bytes transferred in class c.
+func (m *Meter) Bytes(c Class) uint64 { return m.bytes[c] }
+
+// Transfers returns the number of transfers in class c.
+func (m *Meter) Transfers(c Class) uint64 { return m.transfers[c] }
+
+// TotalBytes returns bytes summed over all classes.
+func (m *Meter) TotalBytes() uint64 {
+	var t uint64
+	for _, b := range m.bytes {
+		t += b
+	}
+	return t
+}
+
+// OverheadBytes returns the traffic that exists only because of the
+// prefetcher: wrong prefetches plus metadata reads and updates. Useful
+// prefetch traffic replaces demand traffic one-for-one and is therefore not
+// overhead.
+func (m *Meter) OverheadBytes() uint64 {
+	return m.bytes[PrefetchWrong] + m.bytes[MetadataRead] + m.bytes[MetadataUpdate]
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// Add accumulates other into m (used to merge per-core meters).
+func (m *Meter) Add(other *Meter) {
+	for c := Class(0); c < numClasses; c++ {
+		m.bytes[c] += other.bytes[c]
+		m.transfers[c] += other.transfers[c]
+	}
+}
+
+// String renders the per-class byte counts.
+func (m *Meter) String() string {
+	var b strings.Builder
+	for c := Class(0); c < numClasses; c++ {
+		if m.bytes[c] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%dB", c, m.bytes[c])
+	}
+	if b.Len() == 0 {
+		return "idle"
+	}
+	return b.String()
+}
+
+// GBps converts a byte count over a cycle count at clockGHz into GB/s
+// (decimal GB, matching the paper's 37.5 GB/s peak figure).
+func GBps(bytes uint64, cycles uint64, clockGHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (clockGHz * 1e9)
+	return float64(bytes) / 1e9 / seconds
+}

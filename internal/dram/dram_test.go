@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeterRecord(t *testing.T) {
+	var m Meter
+	m.Record(Demand, 64)
+	m.RecordBlock(MetadataRead)
+	m.RecordBlocks(PrefetchWrong, 3)
+	if m.Bytes(Demand) != 64 || m.Transfers(Demand) != 1 {
+		t.Fatal("Demand accounting")
+	}
+	if m.Bytes(MetadataRead) != 64 {
+		t.Fatal("RecordBlock")
+	}
+	if m.Bytes(PrefetchWrong) != 192 || m.Transfers(PrefetchWrong) != 3 {
+		t.Fatal("RecordBlocks")
+	}
+	if m.TotalBytes() != 64+64+192 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+}
+
+func TestOverheadBytes(t *testing.T) {
+	var m Meter
+	m.RecordBlock(Demand)
+	m.RecordBlock(PrefetchUseful)
+	m.RecordBlock(PrefetchWrong)
+	m.RecordBlock(MetadataRead)
+	m.RecordBlock(MetadataUpdate)
+	if m.OverheadBytes() != 3*64 {
+		t.Fatalf("OverheadBytes = %d, want %d", m.OverheadBytes(), 3*64)
+	}
+}
+
+func TestMeterAddReset(t *testing.T) {
+	var a, b Meter
+	a.RecordBlock(Demand)
+	b.RecordBlock(Demand)
+	b.RecordBlock(Writeback)
+	a.Add(&b)
+	if a.Bytes(Demand) != 128 || a.Bytes(Writeback) != 64 {
+		t.Fatal("Add")
+	}
+	a.Reset()
+	if a.TotalBytes() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	var m Meter
+	if m.String() != "idle" {
+		t.Fatalf("empty meter = %q", m.String())
+	}
+	m.RecordBlock(Demand)
+	if !strings.Contains(m.String(), "demand=64B") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		Demand: "demand", PrefetchUseful: "prefetch-useful",
+		PrefetchWrong: "prefetch-wrong", MetadataRead: "metadata-read",
+		MetadataUpdate: "metadata-update", Writeback: "writeback",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestGBps(t *testing.T) {
+	// 4 GHz, 4e9 cycles = 1 second; 37.5e9 bytes = 37.5 GB/s.
+	got := GBps(37_500_000_000, 4_000_000_000, 4.0)
+	if math.Abs(got-37.5) > 1e-9 {
+		t.Fatalf("GBps = %v", got)
+	}
+	if GBps(100, 0, 4.0) != 0 {
+		t.Fatal("zero cycles")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"domino/internal/core"
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+)
+
+// The ablation study isolates the design choices DESIGN.md §4 calls out by
+// re-running Domino with exactly one choice altered. The bench harness
+// (bench_test.go) wraps each variant; this runner produces the full grid
+// for `dominosim -exp ablations`.
+
+// AblationVariant is one Domino configuration variant.
+type AblationVariant struct {
+	// Name labels the variant in the grid.
+	Name string
+	// Mutate adjusts the configuration and may return a post-construction
+	// hook for prefetcher-level switches.
+	Mutate func(*core.Config) func(*core.Prefetcher)
+}
+
+// AblationVariants returns the study's variant list, reference first.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{"baseline", func(*core.Config) func(*core.Prefetcher) { return nil }},
+		{"always-update", func(c *core.Config) func(*core.Prefetcher) {
+			c.SampleOneIn = 1
+			return nil
+		}},
+		{"miss-only", func(c *core.Config) func(*core.Prefetcher) {
+			return func(p *core.Prefetcher) { p.SetMissOnlyTraining(true) }
+		}},
+		{"no-first-pf", func(c *core.Config) func(*core.Prefetcher) {
+			return func(p *core.Prefetcher) { p.SetFirstPrefetchDisabled(true) }
+		}},
+		{"1-entry", func(c *core.Config) func(*core.Prefetcher) {
+			c.Tables.EntriesPerSuper = 1
+			return nil
+		}},
+		{"8-entries", func(c *core.Config) func(*core.Prefetcher) {
+			c.Tables.EntriesPerSuper = 8
+			return nil
+		}},
+		{"no-stream-end", func(c *core.Config) func(*core.Prefetcher) {
+			c.StreamEndAfter = 1 << 30
+			return nil
+		}},
+	}
+}
+
+// AblationResult carries per-workload coverage for every variant.
+type AblationResult struct {
+	Coverage *Grid
+}
+
+// Ablations runs the Domino ablation study at the given degree.
+func Ablations(o Options, degree int) *AblationResult {
+	res := &AblationResult{
+		Coverage: &Grid{Title: "Domino ablations: coverage by variant (DESIGN.md §4)", Unit: "%"},
+	}
+	for _, wp := range o.workloads() {
+		for _, v := range AblationVariants() {
+			cfg := core.ScaledConfig(degree, o.Scale)
+			post := v.Mutate(&cfg)
+			meter := &dram.Meter{}
+			p := core.New(cfg, meter)
+			if post != nil {
+				post(p)
+			}
+			ec := prefetch.DefaultEvalConfig()
+			ec.Meter = meter
+			r := prefetch.RunWarm(o.trace(wp), p, ec, o.Warmup)
+			res.Coverage.Add(wp.Name, v.Name, r.Coverage())
+		}
+	}
+	return res
+}

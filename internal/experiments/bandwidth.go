@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+)
+
+// BandwidthResult carries Figure 15: the off-chip traffic overhead of the
+// global temporal prefetchers over the no-prefetcher baseline, decomposed
+// into incorrect prefetches, metadata updates, and metadata reads. Values
+// are fractions of the baseline demand traffic, averaged over workloads in
+// the Overhead grid and broken out per workload in PerWorkload.
+type BandwidthResult struct {
+	// Overhead has one row per prefetcher and one series per traffic
+	// class, averaged across workloads (the paper's Figure 15 layout).
+	Overhead *Grid
+	// PerWorkload has one row per workload with total overhead per
+	// prefetcher.
+	PerWorkload *Grid
+}
+
+// Bandwidth reproduces Figure 15 at the given prefetch degree (the paper
+// uses 4).
+func Bandwidth(o Options, degree int) *BandwidthResult {
+	prefetchers := []string{"stms", "digram", "domino"}
+	res := &BandwidthResult{
+		Overhead:    &Grid{Title: "Fig. 15: off-chip traffic overhead over baseline, by class", Unit: "%"},
+		PerWorkload: &Grid{Title: "Fig. 15: total off-chip traffic overhead per workload", Unit: "%"},
+	}
+	sums := map[string]map[dram.Class]float64{}
+	for _, wp := range o.workloads() {
+		for _, name := range prefetchers {
+			meter := &dram.Meter{}
+			cfg := prefetch.DefaultEvalConfig()
+			cfg.Meter = meter
+			p := Build(name, degree, meter, o.Scale)
+			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+			// Baseline traffic: every baseline miss moves one block.
+			// (Covered misses move a block as useful prefetch traffic
+			// instead of demand traffic, so the replacement is 1:1.)
+			base := float64(r.Misses) * 64
+			if base == 0 {
+				continue
+			}
+			if sums[name] == nil {
+				sums[name] = map[dram.Class]float64{}
+			}
+			for _, c := range []dram.Class{dram.PrefetchWrong, dram.MetadataUpdate, dram.MetadataRead} {
+				sums[name][c] += float64(meter.Bytes(c)) / base
+			}
+			res.PerWorkload.Add(wp.Name, name,
+				float64(meter.OverheadBytes())/base)
+		}
+	}
+	n := float64(len(o.workloads()))
+	for _, name := range prefetchers {
+		res.Overhead.Add(name, "wrong-prefetch", sums[name][dram.PrefetchWrong]/n)
+		res.Overhead.Add(name, "meta-update", sums[name][dram.MetadataUpdate]/n)
+		res.Overhead.Add(name, "meta-read", sums[name][dram.MetadataRead]/n)
+		res.Overhead.Add(name, "total",
+			(sums[name][dram.PrefetchWrong]+sums[name][dram.MetadataUpdate]+sums[name][dram.MetadataRead])/n)
+	}
+	return res
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+	"domino/internal/sequitur"
+)
+
+// ComparisonResult carries the two grids of Figures 11 and 13: coverage
+// and overpredictions per workload per prefetcher, plus the Sequitur
+// opportunity column the paper shows alongside degree-1 results.
+type ComparisonResult struct {
+	Degree          int
+	Coverage        *Grid
+	Overpredictions *Grid
+}
+
+// Comparison reproduces Figure 11 (degree 1) and Figure 13 (degree 4):
+// every prefetcher's coverage and overpredictions on every workload, with
+// Sequitur's opportunity included at degree 1 as in the paper.
+func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
+	res := &ComparisonResult{
+		Degree: degree,
+		Coverage: &Grid{
+			Title: fmt.Sprintf("Coverage, prefetching degree %d", degree),
+			Unit:  "%",
+		},
+		Overpredictions: &Grid{
+			Title: fmt.Sprintf("Overpredictions (normalised to baseline misses), degree %d", degree),
+			Unit:  "%",
+		},
+	}
+	for _, wp := range o.workloads() {
+		for _, name := range PrefetcherNames {
+			meter := &dram.Meter{}
+			cfg := prefetch.DefaultEvalConfig()
+			cfg.Meter = meter
+			p := Build(name, degree, meter, o.Scale)
+			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+			res.Coverage.Add(wp.Name, name, r.Coverage())
+			res.Overpredictions.Add(wp.Name, name, r.Overprediction())
+		}
+		if withSequitur {
+			a := sequitur.Analyze(missSymbols(o, wp))
+			res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
+			res.Overpredictions.Add(wp.Name, "sequitur", 0)
+		}
+	}
+	return res
+}

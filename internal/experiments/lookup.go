@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"domino/internal/mem"
+)
+
+// The lookup-depth analyses of Section II (Figures 3, 4 and 5) reduce
+// temporal prefetching to next-miss prediction over the baseline miss
+// sequence: a lookup at position i attempts to match the last N misses
+// (ending at the current one) against history, and predicts the address
+// that followed the most recent match.
+
+// ngramKey hashes the N misses ending at position i. FNV-1a over the line
+// values plus the length gives a practically collision-free 64-bit key for
+// the trace sizes involved.
+func ngramKey(seq []mem.Line, i, n int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ uint64(n)
+	for j := i - n + 1; j <= i; j++ {
+		v := uint64(seq[j])
+		for k := 0; k < 8; k++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// LookupDepthStats are one depth's aggregate counts over a miss sequence.
+type LookupDepthStats struct {
+	Depth   int
+	Lookups uint64 // positions where a depth-N lookup was attempted
+	Matches uint64 // lookups that found a match in history (Fig. 4)
+	Correct uint64 // matched lookups whose prediction was correct (Fig. 3)
+}
+
+// MatchRate is the Figure 4 metric: matches over lookups.
+func (s LookupDepthStats) MatchRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Matches) / float64(s.Lookups)
+}
+
+// Accuracy is the Figure 3 metric: correct predictions over matches.
+func (s LookupDepthStats) Accuracy() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Matches)
+}
+
+// AnalyzeLookupDepths scans the miss sequence once per depth 1..maxDepth,
+// computing Figures 3 and 4's series.
+func AnalyzeLookupDepths(lines []mem.Line, maxDepth int) []LookupDepthStats {
+	out := make([]LookupDepthStats, maxDepth)
+	for n := 1; n <= maxDepth; n++ {
+		st := LookupDepthStats{Depth: n}
+		last := make(map[uint64]int, len(lines))
+		for i := n - 1; i < len(lines)-1; i++ {
+			key := ngramKey(lines, i, n)
+			st.Lookups++
+			if j, ok := last[key]; ok {
+				st.Matches++
+				if lines[j+1] == lines[i+1] {
+					st.Correct++
+				}
+			}
+			last[key] = i
+		}
+		out[n-1] = st
+	}
+	return out
+}
+
+// VaryLookupStats is one depth's outcome for the Figure 5 prefetcher: an
+// idealised temporal prefetcher that, on every miss, tries to match the
+// last N, N-1, ..., 1 misses and predicts from the deepest match.
+type VaryLookupStats struct {
+	MaxDepth        int
+	Coverage        float64
+	Overpredictions float64
+}
+
+// AnalyzeVaryLookup reproduces Figure 5 for depths 1..maxDepth.
+func AnalyzeVaryLookup(lines []mem.Line, maxDepth int) []VaryLookupStats {
+	out := make([]VaryLookupStats, maxDepth)
+	// last[n-1] maps depth-n keys to positions, shared across depths as
+	// the scan advances.
+	for N := 1; N <= maxDepth; N++ {
+		last := make([]map[uint64]int, N)
+		for i := range last {
+			last[i] = make(map[uint64]int)
+		}
+		var predicted, correct uint64
+		for i := 0; i < len(lines)-1; i++ {
+			// Deepest available match wins.
+			for n := min(N, i+1); n >= 1; n-- {
+				key := ngramKey(lines, i, n)
+				if j, ok := last[n-1][key]; ok {
+					predicted++
+					if lines[j+1] == lines[i+1] {
+						correct++
+					}
+					break
+				}
+			}
+			for n := 1; n <= min(N, i+1); n++ {
+				last[n-1][ngramKey(lines, i, n)] = i
+			}
+		}
+		total := float64(len(lines))
+		out[N-1] = VaryLookupStats{
+			MaxDepth:        N,
+			Coverage:        float64(correct) / total,
+			Overpredictions: float64(predicted-correct) / total,
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LookupResult aggregates Figures 3-5 across workloads.
+type LookupResult struct {
+	Accuracy  *Grid // Fig. 3: correct/matched by depth
+	MatchRate *Grid // Fig. 4: matched/lookups by depth
+	Coverage  *Grid // Fig. 5 top: coverage by max depth
+	Overpred  *Grid // Fig. 5 bottom: overpredictions by max depth
+}
+
+// Lookup runs the Section II lookup-depth analyses (depths 1..5).
+func Lookup(o Options) *LookupResult {
+	const maxDepth = 5
+	res := &LookupResult{
+		Accuracy:  &Grid{Title: "Fig. 3: correct predictions / matched lookups, by matched addresses", Unit: "%"},
+		MatchRate: &Grid{Title: "Fig. 4: matched lookups / all lookups, by matched addresses", Unit: "%"},
+		Coverage:  &Grid{Title: "Fig. 5: coverage of an N-address-fallback temporal prefetcher", Unit: "%"},
+		Overpred:  &Grid{Title: "Fig. 5: overpredictions of an N-address-fallback temporal prefetcher", Unit: "%"},
+	}
+	for _, wp := range o.workloads() {
+		syms := missSymbols(o, wp)
+		lines := make([]mem.Line, len(syms))
+		for i, v := range syms {
+			lines[i] = mem.Line(v)
+		}
+		for _, st := range AnalyzeLookupDepths(lines, maxDepth) {
+			label := depthLabel(st.Depth)
+			res.Accuracy.Add(wp.Name, label, st.Accuracy())
+			res.MatchRate.Add(wp.Name, label, st.MatchRate())
+		}
+		for _, st := range AnalyzeVaryLookup(lines, maxDepth) {
+			label := depthLabel(st.MaxDepth)
+			res.Coverage.Add(wp.Name, label, st.Coverage)
+			res.Overpred.Add(wp.Name, label, st.Overpredictions)
+		}
+	}
+	return res
+}
+
+func depthLabel(n int) string { return string(rune('0'+n)) + "-addr" }

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+	"domino/internal/sequitur"
+	"domino/internal/stats"
+)
+
+// OpportunityResult carries Figures 1, 2 and 12:
+//
+//   - Fig. 1: read-miss coverage of STMS and ISB (unlimited storage) vs the
+//     Sequitur opportunity;
+//   - Fig. 2: average stream length of STMS, Digram and Sequitur;
+//   - Fig. 12: cumulative histogram of Sequitur stream lengths.
+type OpportunityResult struct {
+	Coverage       *Grid                       // Fig. 1
+	StreamLength   *Grid                       // Fig. 2
+	Histograms     map[string]*stats.Histogram // Fig. 12, by workload
+	HistogramOrder []string
+}
+
+// Opportunity reproduces Figures 1, 2 and 12.
+func Opportunity(o Options) *OpportunityResult {
+	res := &OpportunityResult{
+		Coverage:     &Grid{Title: "Fig. 1: read-miss coverage vs temporal opportunity", Unit: "%"},
+		StreamLength: &Grid{Title: "Fig. 2: average temporal stream length"},
+		Histograms:   make(map[string]*stats.Histogram),
+	}
+	for _, wp := range o.workloads() {
+		for _, name := range []string{"isb", "stms", "digram"} {
+			meter := &dram.Meter{}
+			cfg := prefetch.DefaultEvalConfig()
+			cfg.Meter = meter
+			p := Build(name, 1, meter, o.Scale)
+			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+			if name != "digram" {
+				res.Coverage.Add(wp.Name, name, r.ReadCoverage())
+			}
+			if name != "isb" {
+				res.StreamLength.Add(wp.Name, name, r.MeanStreamLength())
+			}
+		}
+		a := sequitur.Analyze(missSymbols(o, wp))
+		res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
+		res.StreamLength.Add(wp.Name, "sequitur", a.MeanStreamLength())
+		res.Histograms[wp.Name] = a.Hist
+		res.HistogramOrder = append(res.HistogramOrder, wp.Name)
+	}
+	return res
+}
+
+// HistogramTable renders the Figure 12 cumulative distributions as text.
+func (r *OpportunityResult) HistogramTable() string {
+	var b strings.Builder
+	b.WriteString("Fig. 12: cumulative % of streams by length (Sequitur)\n")
+	first := true
+	for _, w := range r.HistogramOrder {
+		h := r.Histograms[w]
+		if first {
+			fmt.Fprintf(&b, "%-16s", "workload")
+			for _, l := range h.Labels() {
+				fmt.Fprintf(&b, "%7s", l)
+			}
+			b.WriteByte('\n')
+			first = false
+		}
+		fmt.Fprintf(&b, "%-16s", w)
+		for _, c := range h.Cumulative() {
+			fmt.Fprintf(&b, "%6.0f%%", c*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

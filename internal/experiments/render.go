@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the grid as comma-separated values with a header row, for
+// plotting the figures with external tools.
+func (g *Grid) CSV() string {
+	var b strings.Builder
+	series := g.Series()
+	b.WriteString("workload")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(csvEscape(s))
+	}
+	b.WriteByte('\n')
+	for _, w := range g.Workloads() {
+		b.WriteString(csvEscape(w))
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%.6f", g.Value(w, s))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Bars renders the grid as grouped ASCII bar charts, one group per
+// workload — a terminal rendition of the paper's grouped-bar figures.
+// width is the maximum bar length in characters.
+func (g *Grid) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	series := g.Series()
+	maxV := 0.0
+	for _, c := range g.Cells {
+		if c.Value > maxV {
+			maxV = c.Value
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	label := 0
+	for _, s := range series {
+		if len(s) > label {
+			label = len(s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	for _, w := range g.Workloads() {
+		fmt.Fprintf(&b, "%s\n", w)
+		for _, s := range series {
+			v := g.Value(w, s)
+			n := int(v / maxV * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s %s %s\n", label, s,
+				strings.Repeat("#", n), g.format(v))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"domino/internal/core"
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+	"domino/internal/workload"
+)
+
+// Sensitivity reproduces the storage-requirement studies of Section V-A:
+//
+//   - Fig. 9: Domino coverage vs History Table entries, EIT unbounded
+//     (approximated by the largest sweep point);
+//   - Fig. 10: Domino coverage vs EIT rows with the HT fixed at its chosen
+//     size.
+//
+// The paper sweeps up to 64 M HT entries against full-length workloads and
+// settles on 16 M entries / 2 M rows; our traces are Scale× shorter, so the
+// sweep points are the paper's divided by Scale, preserving the shape of
+// the saturation curve.
+
+// SweepPoint is one (size, coverage) measurement for one workload.
+type SweepPoint struct {
+	Workload string
+	Size     int
+	Coverage float64
+}
+
+// SensitivityResult carries both sweeps.
+type SensitivityResult struct {
+	HT  *Grid // Fig. 9
+	EIT *Grid // Fig. 10
+	// ChosenHT/ChosenEIT are the scaled equivalents of the paper's 16 M
+	// entries and 2 M rows.
+	ChosenHT, ChosenEIT int
+}
+
+// Sensitivity runs Figures 9 and 10.
+func Sensitivity(o Options) *SensitivityResult {
+	// The paper's sweep: 1M..64M HT entries; 256K..8M EIT rows. Scaled.
+	htSizes := []int{1 << 20, 4 << 20, 8 << 20, 16 << 20, 64 << 20}
+	eitRows := []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 8 << 20}
+	res := &SensitivityResult{
+		HT:        &Grid{Title: "Fig. 9: Domino coverage vs HT entries (paper-scale labels)", Unit: "%"},
+		EIT:       &Grid{Title: "Fig. 10: Domino coverage vs EIT rows (paper-scale labels)", Unit: "%"},
+		ChosenHT:  16 << 20 / max(o.Scale, 1),
+		ChosenEIT: 2 << 20 / max(o.Scale, 1),
+	}
+	for _, wp := range o.workloads() {
+		for _, size := range htSizes {
+			cfg := core.DefaultConfig(1)
+			cfg.Tables.HTEntries = size / max(o.Scale, 1)
+			cfg.Tables.EITRows = 8 << 20 / max(o.Scale, 1) // effectively unbounded
+			res.HT.Add(wp.Name, sizeLabel(size, "entries"), runDomino(o, wp, cfg))
+		}
+		for _, rows := range eitRows {
+			cfg := core.DefaultConfig(1)
+			cfg.Tables.HTEntries = 16 << 20 / max(o.Scale, 1)
+			cfg.Tables.EITRows = rows / max(o.Scale, 1)
+			res.EIT.Add(wp.Name, sizeLabel(rows, "rows"), runDomino(o, wp, cfg))
+		}
+	}
+	return res
+}
+
+func runDomino(o Options, wp workload.Params, cfg core.Config) float64 {
+	meter := &dram.Meter{}
+	ec := prefetch.DefaultEvalConfig()
+	ec.Meter = meter
+	p := core.New(cfg, meter)
+	r := prefetch.RunWarm(o.trace(wp), p, ec, o.Warmup)
+	return r.Coverage()
+}
+
+func sizeLabel(n int, unit string) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM %s", n>>20, unit)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK %s", n>>10, unit)
+	default:
+		return fmt.Sprintf("%d %s", n, unit)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

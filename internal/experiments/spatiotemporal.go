@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+)
+
+// SpatioTemporalResult carries Figure 16: the coverage of VLDP alone,
+// Domino alone, and the stacked VLDP+Domino system where Domino trains and
+// prefetches only on misses VLDP cannot capture.
+type SpatioTemporalResult struct {
+	Coverage *Grid
+}
+
+// SpatioTemporal reproduces Figure 16 at the given degree.
+func SpatioTemporal(o Options, degree int) *SpatioTemporalResult {
+	res := &SpatioTemporalResult{
+		Coverage: &Grid{Title: "Fig. 16: spatio-temporal prefetching coverage", Unit: "%"},
+	}
+	for _, wp := range o.workloads() {
+		for _, name := range []string{"vldp", "domino", "vldp+domino"} {
+			meter := &dram.Meter{}
+			cfg := prefetch.DefaultEvalConfig()
+			cfg.Meter = meter
+			p := Build(name, degree, meter, o.Scale)
+			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+			res.Coverage.Add(wp.Name, name, r.Coverage())
+		}
+	}
+	return res
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"domino/internal/config"
+	"domino/internal/workload"
+)
+
+// TableI renders the evaluation parameters (the paper's Table I) from the
+// live configuration structs, so the printed table can never drift from
+// what the simulator actually uses.
+func TableI() string {
+	m := config.DefaultMachine()
+	p := config.DefaultPrefetch()
+	d := config.DefaultDomino()
+	b := config.DefaultOnChipBuffers()
+	var out strings.Builder
+	out.WriteString("Table I: evaluation parameters\n")
+	row := func(k, v string) { fmt.Fprintf(&out, "  %-12s %s\n", k, v) }
+	row("Chip", fmt.Sprintf("%d cores, %g GHz", m.Cores, m.ClockGHz))
+	row("Core", fmt.Sprintf("%d-wide issue, %d-entry ROB, %d-entry LSQ",
+		m.IssueWidth, m.ROBEntries, m.LSQEntries))
+	row("L1-D", fmt.Sprintf("%d KB, %d-way, %d-cycle load-to-use, %d MSHRs",
+		m.L1DSizeBytes>>10, m.L1DWays, m.L1DLoadToUse, m.L1DMSHRs))
+	row("L2", fmt.Sprintf("%d MB, %d-way, %d-cycle hit, %d MSHRs",
+		m.L2SizeBytes>>20, m.L2Ways, m.L2HitCycles, m.L2MSHRs))
+	row("Memory", fmt.Sprintf("%g ns latency (%d cycles), %g GB/s peak",
+		m.MemLatencyNs, m.MemLatencyCycles(), m.MemPeakGBps))
+	row("Prefetch", fmt.Sprintf("degree %d, %d-block buffer, %d streams, 1-in-%d sampling",
+		p.Degree, p.BufferBlocks, p.ActiveStreams, p.SampleOneIn))
+	row("Domino", fmt.Sprintf("HT %dM entries x %d/row, EIT %dM rows x %d super-entries x %d entries",
+		d.HTEntries>>20, d.HTRowEntries, d.EITRows>>20, d.SuperEntriesPerRow, d.EntriesPerSuper))
+	row("Buffers", fmt.Sprintf("LogMiss %d B, PrefetchBuf %d B, PointBuf %d B, FetchBuf %d B",
+		b.LogMissBytes, b.PrefetchBufferBytes, b.PointBufBytes, b.FetchBufBytes))
+	return out.String()
+}
+
+// TableII renders the workload roster (the paper's Table II) with the key
+// parameters of this reproduction's synthetic stand-ins.
+func TableII() string {
+	var out strings.Builder
+	out.WriteString("Table II: workloads (synthetic stand-ins; see DESIGN.md §1)\n")
+	fmt.Fprintf(&out, "  %-16s %6s %7s %6s %6s %6s %6s %6s\n",
+		"workload", "docs", "docLen", "pool", "burst", "alias", "noise", "chains")
+	for _, name := range workload.Names {
+		p := workload.ByName(name)
+		fmt.Fprintf(&out, "  %-16s %6d %7d %6d %6d %5.0f%% %5.1f%% %5.0f%%\n",
+			p.Name, p.Documents, p.DocLenMean, p.WorkingSetLines,
+			p.BurstMean, p.AliasFrac*100, (p.NoiseProb+p.InDocNoiseProb)*100,
+			p.ChainFrac*100)
+	}
+	return out.String()
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"domino/internal/config"
+	"domino/internal/dram"
+	"domino/internal/multicore"
+	"domino/internal/prefetch"
+)
+
+// UtilizationResult carries the Section V-D bandwidth study on the
+// four-core Table I chip: the baseline's consumed off-chip bandwidth per
+// workload (the paper: "the most bandwidth-hungry server workload (i.e.,
+// Web Apache) consumes only 8 GB/s") and the bandwidth utilisation with
+// Domino (the paper: "from 8.7% in MapReduce-C to 32.8% in Web Apache").
+type UtilizationResult struct {
+	// BaselineGBps and DominoGBps are consumed bandwidths per workload.
+	BaselineGBps *Grid
+	// Utilization is the fraction of the 37.5 GB/s peak used with
+	// Domino.
+	Utilization *Grid
+}
+
+// Utilization runs the Section V-D study. Multicore runs measure whole
+// runs (no warmup rebase); Options.Warmup is ignored.
+func Utilization(o Options, degree int) *UtilizationResult {
+	mc := config.DefaultMachine() // full Table I chip: 4 cores share the 4 MB LLC
+	res := &UtilizationResult{
+		BaselineGBps: &Grid{Title: "Sec. V-D: consumed off-chip bandwidth (GB/s), 4-core chip"},
+		Utilization:  &Grid{Title: "Sec. V-D: bandwidth utilisation with Domino", Unit: "%"},
+	}
+	for _, wp := range o.workloads() {
+		cfg := multicore.Config{Machine: mc, Accesses: o.Accesses}
+		base := multicore.Run(wp, cfg)
+		res.BaselineGBps.Add(wp.Name, "baseline", base.BandwidthGBps)
+
+		cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
+			return Build("domino", degree, m, o.Scale)
+		}
+		dom := multicore.Run(wp, cfg)
+		res.BaselineGBps.Add(wp.Name, "domino", dom.BandwidthGBps)
+		res.Utilization.Add(wp.Name, "domino", dom.BusUtilization)
+	}
+	return res
+}

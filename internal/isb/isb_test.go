@@ -1,0 +1,76 @@
+package isb
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func ev(pc mem.Addr, l mem.Line) prefetch.Event {
+	return prefetch.Event{PC: pc, Line: l, Kind: mem.EventMiss}
+}
+
+func TestPCLocalisedReplay(t *testing.T) {
+	p := New(DefaultConfig(2))
+	// PC 100's stream: 1, 2, 3, 4. PC 200 interleaves but must not leak.
+	seq := []struct {
+		pc mem.Addr
+		l  mem.Line
+	}{
+		{100, 1}, {200, 50}, {100, 2}, {200, 51}, {100, 3}, {100, 4},
+	}
+	for _, s := range seq {
+		p.Trigger(ev(s.pc, s.l))
+	}
+	out := p.Trigger(ev(100, 1))
+	if len(out) != 2 || out[0].Line != 2 || out[1].Line != 3 {
+		t.Fatalf("candidates = %+v, want PC-local successors 2, 3", out)
+	}
+}
+
+func TestDifferentPCSameLineIsolated(t *testing.T) {
+	p := New(DefaultConfig(1))
+	p.Trigger(ev(100, 1))
+	p.Trigger(ev(100, 2))
+	// PC 200 misses line 1 for the first time: no PC-200 history.
+	if out := p.Trigger(ev(200, 1)); len(out) != 0 {
+		t.Fatalf("cross-PC leak: %+v", out)
+	}
+}
+
+func TestPredictsNextMissesOfInstructionNotWorkload(t *testing.T) {
+	// The paper's criticism: ISB predicts the instruction's next misses,
+	// which are not the workload's next misses. Under PC interleaving the
+	// prediction for PC 100 skips PC 200's misses entirely.
+	p := New(DefaultConfig(1))
+	for _, s := range []struct {
+		pc mem.Addr
+		l  mem.Line
+	}{{100, 1}, {200, 8}, {100, 2}, {200, 9}, {100, 1}} {
+		p.Trigger(ev(s.pc, s.l))
+	}
+	out := p.Trigger(ev(100, 2))
+	// PC 100 history: 1, 2, 1, 2(now). Last occurrence of 2 at index 1;
+	// successor is 1.
+	if len(out) != 1 || out[0].Line != 1 {
+		t.Fatalf("candidates = %+v", out)
+	}
+}
+
+func TestDegreeBoundsCandidates(t *testing.T) {
+	p := New(DefaultConfig(3))
+	for i := mem.Line(1); i <= 8; i++ {
+		p.Trigger(ev(7, i))
+	}
+	out := p.Trigger(ev(7, 1))
+	if len(out) != 3 {
+		t.Fatalf("degree violated: %+v", out)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig(1)).Name() != "isb" {
+		t.Fatal("name")
+	}
+}

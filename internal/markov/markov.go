@@ -1,0 +1,121 @@
+// Package markov implements the classic Markov prefetcher of Joseph &
+// Grunwald ("Prefetching Using Markov Predictors", ISCA 1997), the
+// ancestor of the temporal-prefetching family the paper builds on (its
+// reference [8]). For every miss address it keeps the most likely
+// successors observed in the global miss stream and prefetches the top
+// candidates on a re-miss.
+//
+// Unlike STMS/Domino, the Markov table stores only per-address successor
+// sets — no stream replay, no pointers into a history — so it can cover
+// single-successor transitions but cannot follow long streams. It is
+// included as an extension baseline (not part of the paper's figures) to
+// show where stream replay earns its keep.
+package markov
+
+import (
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// Config parameterises the Markov prefetcher.
+type Config struct {
+	// Degree is the number of successors prefetched per trigger (the
+	// original paper prefetches several likely next misses in parallel).
+	Degree int
+	// SuccessorsPerEntry bounds the per-address successor list (the
+	// hardware table's ways); 4 in the original design.
+	SuccessorsPerEntry int
+	// TableEntries bounds the number of tracked addresses; 0 = unlimited.
+	TableEntries int
+}
+
+// DefaultConfig returns a 4-successor unlimited-table configuration.
+func DefaultConfig(degree int) Config {
+	return Config{Degree: degree, SuccessorsPerEntry: 4}
+}
+
+// successor is one observed transition with a frequency count.
+type successor struct {
+	line  mem.Line
+	count uint32
+}
+
+// entry is the successor list of one miss address, most-frequent first.
+type entry struct {
+	succ []successor
+}
+
+// Prefetcher is the Markov engine. Construct with New.
+type Prefetcher struct {
+	cfg   Config
+	table map[mem.Line]*entry
+	fifo  []mem.Line // naive replacement for the bounded table
+
+	prev    mem.Line
+	hasPrev bool
+}
+
+// New builds a Markov prefetcher.
+func New(cfg Config) *Prefetcher {
+	if cfg.SuccessorsPerEntry <= 0 {
+		cfg.SuccessorsPerEntry = 4
+	}
+	return &Prefetcher{cfg: cfg, table: make(map[mem.Line]*entry)}
+}
+
+// Name returns "markov".
+func (p *Prefetcher) Name() string { return "markov" }
+
+// Trigger implements prefetch.Prefetcher.
+func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
+	// Train: record prev -> current.
+	if p.hasPrev {
+		p.train(p.prev, ev.Line)
+	}
+	p.prev = ev.Line
+	p.hasPrev = true
+
+	// Predict: the most frequent successors of the current address.
+	e, ok := p.table[ev.Line]
+	if !ok {
+		return nil
+	}
+	n := p.cfg.Degree
+	if n > len(e.succ) {
+		n = len(e.succ)
+	}
+	out := make([]prefetch.Candidate, 0, n)
+	for _, s := range e.succ[:n] {
+		out = append(out, prefetch.Candidate{Line: s.line, Tag: p.Name()})
+	}
+	return out
+}
+
+func (p *Prefetcher) train(from, to mem.Line) {
+	e, ok := p.table[from]
+	if !ok {
+		if p.cfg.TableEntries > 0 && len(p.table) >= p.cfg.TableEntries {
+			victim := p.fifo[0]
+			p.fifo = p.fifo[1:]
+			delete(p.table, victim)
+		}
+		e = &entry{}
+		p.table[from] = e
+		p.fifo = append(p.fifo, from)
+	}
+	for i := range e.succ {
+		if e.succ[i].line == to {
+			e.succ[i].count++
+			// Bubble up to keep the list sorted by frequency.
+			for i > 0 && e.succ[i].count > e.succ[i-1].count {
+				e.succ[i], e.succ[i-1] = e.succ[i-1], e.succ[i]
+				i--
+			}
+			return
+		}
+	}
+	if len(e.succ) >= p.cfg.SuccessorsPerEntry {
+		e.succ = e.succ[:p.cfg.SuccessorsPerEntry-1] // drop least frequent
+	}
+	e.succ = append(e.succ, successor{line: to, count: 1})
+}

@@ -1,0 +1,84 @@
+package markov
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func miss(l mem.Line) prefetch.Event {
+	return prefetch.Event{Line: l, Kind: mem.EventMiss}
+}
+
+func train(p *Prefetcher, lines ...mem.Line) {
+	for _, l := range lines {
+		p.Trigger(miss(l))
+	}
+}
+
+func TestPredictsMostFrequentSuccessor(t *testing.T) {
+	p := New(DefaultConfig(1))
+	// A -> B twice, A -> C once: B must win.
+	train(p, 'A', 'B', 9, 'A', 'C', 9, 'A', 'B', 9)
+	out := p.Trigger(miss('A'))
+	if len(out) != 1 || out[0].Line != 'B' {
+		t.Fatalf("candidates = %+v, want B", out)
+	}
+}
+
+func TestDegreeReturnsMultipleSuccessors(t *testing.T) {
+	p := New(DefaultConfig(2))
+	train(p, 'A', 'B', 9, 'A', 'C', 9, 'A', 'B', 9)
+	out := p.Trigger(miss('A'))
+	if len(out) != 2 || out[0].Line != 'B' || out[1].Line != 'C' {
+		t.Fatalf("candidates = %+v, want [B C]", out)
+	}
+}
+
+func TestSuccessorListBounded(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.SuccessorsPerEntry = 2
+	p := New(cfg)
+	train(p, 'A', 'B', 'A', 'C', 'A', 'D', 'A', 'E')
+	out := p.Trigger(miss('A'))
+	if len(out) > 2 {
+		t.Fatalf("successor list not bounded: %+v", out)
+	}
+}
+
+func TestNoPredictionForUnseen(t *testing.T) {
+	p := New(DefaultConfig(2))
+	train(p, 'A', 'B')
+	if out := p.Trigger(miss('Z')); len(out) != 0 {
+		t.Fatalf("candidates for unseen address: %+v", out)
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.TableEntries = 2
+	p := New(cfg)
+	train(p, 1, 2, 3, 4) // trains 1->2, 2->3, 3->4; table holds only 2
+	// The oldest entry (1) must be gone.
+	if out := p.Trigger(miss(1)); len(out) != 0 {
+		t.Fatalf("evicted entry persisted: %+v", out)
+	}
+}
+
+func TestCannotFollowStreams(t *testing.T) {
+	// The structural limitation vs stream replay: on a miss of A, Markov
+	// proposes only direct successors, never the deeper stream B->C->D.
+	p := New(DefaultConfig(4))
+	train(p, 'A', 'B', 'C', 'D', 'E')
+	out := p.Trigger(miss('A'))
+	if len(out) != 1 || out[0].Line != 'B' {
+		t.Fatalf("candidates = %+v, want only the direct successor B", out)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig(1)).Name() != "markov" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,115 @@
+// Package mem defines the primitive address types and access records shared
+// by every layer of the simulator: caches, prefetchers, workload generators,
+// and the timing model.
+//
+// Addresses are byte addresses in a 64-bit physical address space. Caches and
+// prefetchers operate at cache-line granularity (64 B lines, per Table I of
+// the paper); LineAddr converts between the two. Spatial prefetchers
+// additionally reason about 4 KB pages.
+package mem
+
+import "fmt"
+
+// Architectural constants from Table I of the paper.
+const (
+	// LineSize is the cache-line size in bytes.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// PageSize is the (small) page size in bytes used by spatial
+	// prefetchers such as VLDP to delimit pattern regions.
+	PageSize = 4096
+	// PageShift is log2(PageSize).
+	PageShift = 12
+	// LinesPerPage is the number of cache lines in a page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Line returns the cache-line address (byte address with the line offset
+// cleared is not used anywhere in the simulator; all line math uses the
+// line *number*, i.e. the byte address shifted right by LineShift).
+func (a Addr) Line() Line { return Line(a >> LineShift) }
+
+// Page returns the page number containing a.
+func (a Addr) Page() Page { return Page(a >> PageShift) }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Line is a cache-line number: a byte address divided by LineSize.
+// Temporal prefetchers correlate and prefetch Line values.
+type Line uint64
+
+// Addr returns the byte address of the first byte of the line.
+func (l Line) Addr() Addr { return Addr(l << LineShift) }
+
+// Page returns the page number containing the line.
+func (l Line) Page() Page { return Page(l >> (PageShift - LineShift)) }
+
+// PageOffset returns the index of the line within its page, in [0, LinesPerPage).
+func (l Line) PageOffset() int { return int(l) & (LinesPerPage - 1) }
+
+// String formats the line number in hex.
+func (l Line) String() string { return fmt.Sprintf("L%x", uint64(l)) }
+
+// Page is a page number: a byte address divided by PageSize.
+type Page uint64
+
+// FirstLine returns the line number of the first line in the page.
+func (p Page) FirstLine() Line { return Line(p << (PageShift - LineShift)) }
+
+// LineAt returns the line number of the line at page offset off.
+func (p Page) LineAt(off int) Line { return p.FirstLine() + Line(off) }
+
+// Access is one memory reference as observed at the L1-D cache: the program
+// counter of the load/store, the referenced byte address, and trace-level
+// context needed by the timing model.
+type Access struct {
+	// PC is the program counter of the memory instruction. PC-localised
+	// prefetchers (ISB) key their metadata on it.
+	PC Addr
+	// Addr is the referenced byte address.
+	Addr Addr
+	// Write reports whether the access is a store. The prefetchers in
+	// this repository train on read and write misses alike (the paper's
+	// Figure 1 measures read-miss coverage; the evaluator separates the
+	// two when reporting).
+	Write bool
+	// Gap is the number of non-memory instructions executed since the
+	// previous memory access. The trace-based evaluation ignores it; the
+	// timing model uses it to account cycles between accesses.
+	Gap uint16
+	// Dependent reports that this access is data-dependent on the value
+	// returned by the previous miss (a pointer-chase step). Dependent
+	// misses cannot overlap with their parent in the timing model, which
+	// is what makes temporal prefetching profitable on them.
+	Dependent bool
+}
+
+// Event kinds observed by a prefetcher. A triggering event, in the paper's
+// terminology, is a cache miss or a prefetch-buffer hit.
+type EventKind uint8
+
+const (
+	// EventMiss is a demand access that missed both the L1-D and the
+	// prefetch buffer.
+	EventMiss EventKind = iota
+	// EventPrefetchHit is a demand access that missed the L1-D but was
+	// found in the prefetch buffer (a covered miss).
+	EventPrefetchHit
+)
+
+// String returns a readable name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventMiss:
+		return "miss"
+	case EventPrefetchHit:
+		return "prefetch-hit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}

@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line Line
+	}{
+		{0x0, 0x0},
+		{0x3f, 0x0},
+		{0x40, 0x1},
+		{0x7f, 0x1},
+		{0x1000, 0x40},
+		{0xdeadbeef, 0xdeadbeef >> 6},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Addr(%#x).Line() = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.line))
+		}
+	}
+}
+
+func TestLineAddrInverse(t *testing.T) {
+	f := func(raw uint64) bool {
+		l := Line(raw >> LineShift) // any representable line
+		return l.Addr().Line() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageGeometry(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	a := Addr(0x12345678)
+	if a.Line().Page() != a.Page() {
+		t.Fatalf("line page %v != addr page %v", a.Line().Page(), a.Page())
+	}
+}
+
+func TestPageOffsetAndLineAt(t *testing.T) {
+	p := Page(7)
+	for off := 0; off < LinesPerPage; off++ {
+		l := p.LineAt(off)
+		if l.Page() != p {
+			t.Fatalf("LineAt(%d).Page() = %v, want %v", off, l.Page(), p)
+		}
+		if l.PageOffset() != off {
+			t.Fatalf("PageOffset = %d, want %d", l.PageOffset(), off)
+		}
+	}
+}
+
+func TestFirstLine(t *testing.T) {
+	p := Page(3)
+	if got := p.FirstLine(); got.PageOffset() != 0 || got.Page() != p {
+		t.Fatalf("FirstLine = %v", got)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventMiss.String() != "miss" || EventPrefetchHit.String() != "prefetch-hit" {
+		t.Fatal("EventKind names wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(0xff).String() != "0xff" {
+		t.Fatalf("Addr.String = %s", Addr(0xff).String())
+	}
+}

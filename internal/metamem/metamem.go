@@ -1,0 +1,99 @@
+// Package metamem models how Domino's metadata tables live in physical
+// memory (Section III-B of the paper): each core owns a contiguous region
+// of the physical address space, hidden from the operating system, divided
+// statically between the Enhanced Index Table and the History Table. The
+// start of each table is held in a per-core register (EIT-Start, HT-Start),
+// and the memory system provides a special read request that fetches a
+// block into the prefetcher's on-chip storage without polluting the cache
+// hierarchy ("there is no need to cache the content of the two tables ...
+// metadata accesses exhibit neither spatial nor temporal locality").
+//
+// The functional simulator keeps the tables as Go structures; this package
+// supplies the address arithmetic those structures correspond to, so the
+// footprint claims of the paper (an 85 MB HT and a 128 MB EIT per core)
+// are computed — and tested — rather than asserted.
+package metamem
+
+import (
+	"fmt"
+
+	"domino/internal/config"
+	"domino/internal/mem"
+)
+
+// Layout is the physical placement of one core's metadata region.
+type Layout struct {
+	// EITStart and HTStart are the values of the per-core registers.
+	EITStart mem.Addr
+	HTStart  mem.Addr
+	// EITBytes and HTBytes are the table sizes.
+	EITBytes uint64
+	HTBytes  uint64
+	// geometry
+	htRowEntries int
+	eitRows      int
+}
+
+// RowBytes is the size of one table row: both tables are read and written
+// one cache block at a time.
+const RowBytes = mem.LineSize
+
+// NewLayout places the tables for one core at base. The EIT comes first
+// (one block per row), then the HT (one block per HTRowEntries addresses),
+// as the paper's static division of the allocated region.
+func NewLayout(base mem.Addr, d config.Domino) Layout {
+	eitBytes := uint64(d.EITRows) * RowBytes
+	htRows := uint64((d.HTEntries + d.HTRowEntries - 1) / d.HTRowEntries)
+	return Layout{
+		EITStart:     base,
+		HTStart:      base + mem.Addr(eitBytes),
+		EITBytes:     eitBytes,
+		HTBytes:      htRows * RowBytes,
+		htRowEntries: d.HTRowEntries,
+		eitRows:      d.EITRows,
+	}
+}
+
+// TotalBytes is the size of the core's hidden region.
+func (l Layout) TotalBytes() uint64 { return l.EITBytes + l.HTBytes }
+
+// EITRowAddr returns the physical address of EIT row i.
+func (l Layout) EITRowAddr(row int) mem.Addr {
+	if row < 0 || row >= l.eitRows {
+		panic(fmt.Sprintf("metamem: EIT row %d out of range [0,%d)", row, l.eitRows))
+	}
+	return l.EITStart + mem.Addr(row)*RowBytes
+}
+
+// HTRowAddr returns the physical address holding the HT row that contains
+// the given history sequence number. The HT is circular, so addresses wrap
+// within the HT region.
+func (l Layout) HTRowAddr(seq uint64) mem.Addr {
+	row := seq / uint64(l.htRowEntries)
+	rows := l.HTBytes / RowBytes
+	return l.HTStart + mem.Addr(row%rows)*RowBytes
+}
+
+// Contains reports whether a physical address falls inside the hidden
+// region — what the "hidden from the operating system" check needs.
+func (l Layout) Contains(a mem.Addr) bool {
+	return a >= l.EITStart && a < l.EITStart+mem.Addr(l.TotalBytes())
+}
+
+// String summarises the layout the way the paper quotes it.
+func (l Layout) String() string {
+	return fmt.Sprintf("EIT@%v (%d MB) HT@%v (%d MB)",
+		l.EITStart, l.EITBytes>>20, l.HTStart, l.HTBytes>>20)
+}
+
+// PerCore lays out n cores' regions back to back starting at base, each
+// core getting its own dedicated address space, as the paper requires.
+func PerCore(base mem.Addr, d config.Domino, n int) []Layout {
+	out := make([]Layout, n)
+	cur := base
+	for i := range out {
+		out[i] = NewLayout(cur, d)
+		cur += mem.Addr(out[i].TotalBytes())
+	}
+	return out
+}

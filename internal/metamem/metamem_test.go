@@ -1,0 +1,91 @@
+package metamem
+
+import (
+	"testing"
+
+	"domino/internal/config"
+	"domino/internal/mem"
+)
+
+// TestPaperFootprints checks the two storage numbers the paper quotes in
+// Section V-A: "16 M entries (85 MB) in the HT" and "an EIT with 2 M rows
+// (128 MB)".
+func TestPaperFootprints(t *testing.T) {
+	l := NewLayout(0x1000_0000, config.DefaultDomino())
+	if got := l.EITBytes >> 20; got != 128 {
+		t.Fatalf("EIT = %d MB, want 128 (paper, Section V-A)", got)
+	}
+	// 16M entries / 12 per row, one block per row: 85.3 MB.
+	if got := l.HTBytes >> 20; got != 85 {
+		t.Fatalf("HT = %d MB, want 85 (paper, Section V-A)", got)
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	d := config.Domino{HTEntries: 24, HTRowEntries: 12, EITRows: 4,
+		SuperEntriesPerRow: 4, EntriesPerSuper: 3}
+	l := NewLayout(0x1000, d)
+	if l.EITStart != 0x1000 {
+		t.Fatal("EITStart")
+	}
+	if l.HTStart != 0x1000+4*RowBytes {
+		t.Fatalf("HTStart = %v", l.HTStart)
+	}
+	if l.EITRowAddr(0) != 0x1000 || l.EITRowAddr(3) != 0x1000+3*64 {
+		t.Fatal("EITRowAddr")
+	}
+	// HT has 2 rows; seq 0-11 row 0, 12-23 row 1, 24+ wraps to row 0.
+	if l.HTRowAddr(0) != l.HTStart {
+		t.Fatal("HTRowAddr(0)")
+	}
+	if l.HTRowAddr(13) != l.HTStart+64 {
+		t.Fatal("HTRowAddr(13)")
+	}
+	if l.HTRowAddr(24) != l.HTStart {
+		t.Fatal("HT wrap")
+	}
+}
+
+func TestEITRowAddrPanicsOutOfRange(t *testing.T) {
+	l := NewLayout(0, config.Domino{HTEntries: 12, HTRowEntries: 12, EITRows: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.EITRowAddr(2)
+}
+
+func TestContains(t *testing.T) {
+	l := NewLayout(0x1000, config.Domino{HTEntries: 12, HTRowEntries: 12, EITRows: 2})
+	if !l.Contains(0x1000) || !l.Contains(0x1000+mem.Addr(l.TotalBytes())-1) {
+		t.Fatal("region boundaries")
+	}
+	if l.Contains(0xFFF) || l.Contains(0x1000+mem.Addr(l.TotalBytes())) {
+		t.Fatal("outside region")
+	}
+}
+
+func TestPerCoreDisjoint(t *testing.T) {
+	d := config.ScaledDomino(64)
+	layouts := PerCore(0x4000_0000, d, 4)
+	if len(layouts) != 4 {
+		t.Fatal("core count")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if layouts[i].Contains(layouts[j].EITStart) {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	if l := layouts[1]; l.EITStart != 0x4000_0000+mem.Addr(layouts[0].TotalBytes()) {
+		t.Fatal("regions not back to back")
+	}
+}
+
+func TestString(t *testing.T) {
+	if NewLayout(0, config.DefaultDomino()).String() == "" {
+		t.Fatal("empty String")
+	}
+}

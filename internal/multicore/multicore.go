@@ -1,0 +1,170 @@
+// Package multicore simulates the paper's quad-core chip: four cores, each
+// running the same server workload (with per-core seeds, as four threads of
+// one application would behave), each with a private L1-D, prefetch buffer
+// and prefetcher, sharing the LLC and the 37.5 GB/s memory interface of
+// Table I.
+//
+// The multicore results back two parts of the evaluation:
+//
+//   - Figure 14's system setting: speedups measured on the four-core chip
+//     (the single-core internal/timing model gives the same ordering; the
+//     shared bus adds the contention that metadata-hungry prefetchers pay);
+//   - Section V-D's bandwidth-utilisation numbers ("the most
+//     bandwidth-hungry server workload consumes only 8 GB/s"; "using
+//     Domino, the bandwidth utilisation ranges from 8.7% ... to 32.8%").
+package multicore
+
+import (
+	"fmt"
+
+	"domino/internal/cache"
+	"domino/internal/config"
+	"domino/internal/dram"
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+	"domino/internal/timing"
+	"domino/internal/trace"
+	"domino/internal/workload"
+)
+
+// Config describes a multicore run.
+type Config struct {
+	// Machine is the chip (Table I); Machine.Cores cores are built.
+	Machine config.Machine
+	// Accesses is the per-core trace length. Multicore runs measure the
+	// whole run (cores cannot rebase their cycle cursors independently
+	// while sharing a bus); prefetcher metadata warms up in place, which
+	// slightly understates steady-state coverage for all prefetchers
+	// equally.
+	Accesses int
+	// BuildPrefetcher constructs one core's prefetcher recording into the
+	// given meter. Use experiments.Build or a custom constructor; nil
+	// runs the no-prefetcher baseline.
+	BuildPrefetcher func(meter *dram.Meter) prefetch.Prefetcher
+}
+
+// Result aggregates a multicore run.
+type Result struct {
+	// PerCore holds each core's timing result.
+	PerCore []*timing.Result
+	// Cycles is the chip's execution time: the slowest core's cycles
+	// (all cores run the same amount of work).
+	Cycles uint64
+	// Instructions sums the cores' instructions.
+	Instructions uint64
+	// BusUtilization is the fraction of cycles the memory interface was
+	// busy during the measured window.
+	BusUtilization float64
+	// BandwidthGBps is the average delivered off-chip bandwidth, capped
+	// at the interface's peak.
+	BandwidthGBps float64
+	// RequestedGBps is the bandwidth the cores and prefetchers asked
+	// for; above the peak it shows up as queueing, not as delivery.
+	RequestedGBps float64
+}
+
+// AggregateIPC is the paper's performance metric: total application
+// instructions over total cycles.
+func (r *Result) AggregateIPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// SpeedupOver compares aggregate IPC against a baseline run.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	b := base.AggregateIPC()
+	if b == 0 {
+		return 0
+	}
+	return r.AggregateIPC() / b
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%d cores: aggregate IPC=%.3f bandwidth=%.2f GB/s (%.1f%% of peak)",
+		len(r.PerCore), r.AggregateIPC(), r.BandwidthGBps, r.BusUtilization*100)
+}
+
+// coreState couples one simulator with its trace.
+type coreState struct {
+	sim   *timing.Simulator
+	tr    trace.Reader
+	meter *dram.Meter
+	steps int
+	done  bool
+}
+
+// Run simulates cfg.Machine.Cores cores executing workload wp.
+func Run(wp workload.Params, cfg Config) *Result {
+	mc := cfg.Machine
+	n := mc.Cores
+	if n <= 0 {
+		n = 1
+	}
+	sharedL2 := cache.New(cache.Config{
+		SizeBytes: mc.L2SizeBytes, Ways: mc.L2Ways, LineBytes: mem.LineSize,
+	})
+	bus := timing.NewBus(mc.MemPeakGBps, mc.ClockGHz)
+
+	cores := make([]*coreState, n)
+	for i := range cores {
+		p := wp
+		p.Seed = wp.Seed + int64(i)*7919 // per-core thread behaviour
+		meter := &dram.Meter{}
+		var pf prefetch.Prefetcher = prefetch.Null{}
+		if cfg.BuildPrefetcher != nil {
+			pf = cfg.BuildPrefetcher(meter)
+		}
+		cores[i] = &coreState{
+			sim:   timing.NewShared(mc, pf, meter, sharedL2, bus),
+			tr:    trace.Limit(workload.New(p), cfg.Accesses),
+			meter: meter,
+		}
+	}
+
+	// Advance the core whose front end is furthest behind, so the cores'
+	// cycle cursors stay interleaved the way concurrently-running cores'
+	// memory traffic does.
+	for {
+		var next *coreState
+		for _, c := range cores {
+			if c.done {
+				continue
+			}
+			if next == nil || c.sim.Fetch() < next.sim.Fetch() {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		a, ok := next.tr.Next()
+		if !ok {
+			next.done = true
+			continue
+		}
+		next.sim.Step(a)
+		next.steps++
+	}
+
+	res := &Result{}
+	var meter dram.Meter
+	for _, c := range cores {
+		r := c.sim.Finish()
+		res.PerCore = append(res.PerCore, r)
+		res.Instructions += r.Instructions
+		if r.Cycles > res.Cycles {
+			res.Cycles = r.Cycles
+		}
+		meter.Add(c.meter)
+	}
+	res.BusUtilization = bus.Utilization(res.Cycles)
+	res.RequestedGBps = dram.GBps(meter.TotalBytes(), res.Cycles, mc.ClockGHz)
+	res.BandwidthGBps = res.RequestedGBps
+	if res.BandwidthGBps > mc.MemPeakGBps {
+		res.BandwidthGBps = mc.MemPeakGBps
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+package multicore
+
+import (
+	"testing"
+
+	"domino/internal/config"
+	"domino/internal/core"
+	"domino/internal/dram"
+	"domino/internal/prefetch"
+	"domino/internal/workload"
+)
+
+func testMachine() config.Machine {
+	// Multicore runs use the full Table I machine: four cores' combined
+	// working sets exceed the 4 MB LLC, preserving the paper's
+	// vast-dataset property without scaling.
+	return config.DefaultMachine()
+}
+
+func TestBaselineRun(t *testing.T) {
+	wp := workload.ByName("Web Apache")
+	r := Run(wp, Config{Machine: testMachine(), Accesses: 50_000})
+	if len(r.PerCore) != 4 {
+		t.Fatalf("cores = %d", len(r.PerCore))
+	}
+	if r.AggregateIPC() <= 0 || r.AggregateIPC() > 16 {
+		t.Fatalf("aggregate IPC = %v", r.AggregateIPC())
+	}
+	if r.BandwidthGBps <= 0 {
+		t.Fatal("no bandwidth consumed")
+	}
+	if r.BusUtilization <= 0 || r.BusUtilization > 1 {
+		t.Fatalf("utilisation = %v", r.BusUtilization)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCoresProgressTogether(t *testing.T) {
+	wp := workload.ByName("OLTP")
+	r := Run(wp, Config{Machine: testMachine(), Accesses: 30_000})
+	// All cores executed the same trace length; their instruction counts
+	// must be within a few percent of each other (seeds differ).
+	lo, hi := r.PerCore[0].Instructions, r.PerCore[0].Instructions
+	for _, c := range r.PerCore {
+		if c.Instructions < lo {
+			lo = c.Instructions
+		}
+		if c.Instructions > hi {
+			hi = c.Instructions
+		}
+	}
+	if float64(hi-lo) > 0.2*float64(hi) {
+		t.Fatalf("core imbalance: %d vs %d instructions", lo, hi)
+	}
+}
+
+func TestPrefetchingImprovesAggregateIPC(t *testing.T) {
+	wp := workload.ByName("OLTP")
+	cfg := Config{Machine: testMachine(), Accesses: 150_000}
+	base := Run(wp, cfg)
+	cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
+		return core.New(core.ScaledConfig(4, 64), m)
+	}
+	pf := Run(wp, cfg)
+	if pf.SpeedupOver(base) < 0.97 {
+		t.Fatalf("Domino slowed the chip down: %v", pf.SpeedupOver(base))
+	}
+	// Prefetching must consume more bandwidth than the baseline.
+	if pf.BandwidthGBps <= base.BandwidthGBps {
+		t.Fatalf("prefetching bandwidth %v <= baseline %v",
+			pf.BandwidthGBps, base.BandwidthGBps)
+	}
+}
+
+func TestBandwidthBelowPeak(t *testing.T) {
+	wp := workload.ByName("Web Apache") // the most bandwidth-hungry workload
+	cfg := Config{Machine: testMachine(), Accesses: 150_000}
+	cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
+		return core.New(core.ScaledConfig(4, 64), m)
+	}
+	r := Run(wp, cfg)
+	if r.BandwidthGBps > testMachine().MemPeakGBps {
+		t.Fatalf("bandwidth %v exceeds peak", r.BandwidthGBps)
+	}
+}
+
+func TestSingleCoreDegenerate(t *testing.T) {
+	mc := testMachine()
+	mc.Cores = 1
+	r := Run(workload.ByName("Web Zeus"), Config{Machine: mc, Accesses: 20_000})
+	if len(r.PerCore) != 1 {
+		t.Fatalf("cores = %d", len(r.PerCore))
+	}
+}

@@ -1,0 +1,275 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"domino/internal/cache"
+	"domino/internal/dram"
+	"domino/internal/mem"
+	"domino/internal/stats"
+	"domino/internal/trace"
+)
+
+// EvalConfig fixes the trace-based evaluation conditions of Section IV-D.
+type EvalConfig struct {
+	// L1D is the cache whose misses are the triggering events.
+	L1D cache.Config
+	// BufferBlocks is the prefetch-buffer capacity (32).
+	BufferBlocks int
+	// Meter, if non-nil, accumulates off-chip traffic. The evaluator
+	// accounts demand and prefetch data traffic; prefetchers account
+	// their own metadata traffic into the same meter.
+	Meter *dram.Meter
+}
+
+// DefaultEvalConfig returns the Section IV-D conditions.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{L1D: cache.L1D(), BufferBlocks: 32}
+}
+
+// Result summarises one trace-based evaluation run.
+type Result struct {
+	// Prefetcher is the name of the evaluated prefetcher.
+	Prefetcher string
+
+	// Accesses is the number of demand accesses replayed.
+	Accesses uint64
+	// L1Hits counts accesses that hit the L1-D.
+	L1Hits uint64
+	// Misses counts L1-D misses (covered + uncovered). Because covered
+	// misses fill the L1-D exactly as baseline fills would, the miss
+	// sequence equals the baseline system's miss sequence, so Misses is
+	// also the baseline miss count that coverage and overprediction are
+	// normalised to.
+	Misses uint64
+	// Covered counts misses satisfied by the prefetch buffer.
+	Covered uint64
+	// ReadMisses/ReadCovered restrict the above to loads (Figure 1
+	// reports read-miss coverage).
+	ReadMisses  uint64
+	ReadCovered uint64
+
+	// Issued counts prefetches inserted into the buffer; Used counts
+	// those later consumed.
+	Issued uint64
+	Used   uint64
+
+	// StreamHist is the distribution of stream lengths actually realised
+	// by the prefetcher: the lengths of runs of consecutive covered
+	// misses (the paper's Figure 2 definition: "a sequence of
+	// consecutive correct prefetches").
+	StreamHist *stats.Histogram
+
+	// Meter is the traffic meter used during the run (may be shared).
+	Meter *dram.Meter
+
+	curRun int64
+}
+
+// Coverage returns covered misses over all misses.
+func (r *Result) Coverage() float64 {
+	return stats.Ratio(float64(r.Covered), float64(r.Misses))
+}
+
+// ReadCoverage returns covered read misses over all read misses.
+func (r *Result) ReadCoverage() float64 {
+	return stats.Ratio(float64(r.ReadCovered), float64(r.ReadMisses))
+}
+
+// Overprediction returns never-consumed prefetches normalised to the
+// baseline miss count, the paper's "overpredictions" metric.
+func (r *Result) Overprediction() float64 {
+	if r.Used >= r.Issued {
+		return 0
+	}
+	return stats.Ratio(float64(r.Issued-r.Used), float64(r.Misses))
+}
+
+// Accuracy returns consumed prefetches over issued prefetches.
+func (r *Result) Accuracy() float64 {
+	return stats.Ratio(float64(r.Used), float64(r.Issued))
+}
+
+// MeanStreamLength returns the average realised stream length.
+func (r *Result) MeanStreamLength() float64 { return r.StreamHist.Mean() }
+
+// String renders the headline metrics.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: coverage=%s overpred=%s accuracy=%s misses=%d streams(mean)=%.2f",
+		r.Prefetcher, stats.Percent(r.Coverage()), stats.Percent(r.Overprediction()),
+		stats.Percent(r.Accuracy()), r.Misses, r.MeanStreamLength())
+}
+
+// Evaluator replays a trace through an L1-D, a prefetch buffer, and a
+// prefetcher, producing a Result. Use Run for the one-shot form; the
+// stepwise form (Step) exists for the timing model and for tests that need
+// to interleave assertions.
+type Evaluator struct {
+	cfg    EvalConfig
+	l1     *cache.Cache
+	buf    *Buffer
+	p      Prefetcher
+	res    *Result
+	closed bool
+}
+
+// NewEvaluator builds an evaluator for p under cfg.
+func NewEvaluator(p Prefetcher, cfg EvalConfig) *Evaluator {
+	if cfg.BufferBlocks == 0 {
+		cfg.BufferBlocks = 32
+	}
+	if cfg.L1D.SizeBytes == 0 {
+		cfg.L1D = cache.L1D()
+	}
+	meter := cfg.Meter
+	if meter == nil {
+		meter = &dram.Meter{}
+	}
+	return &Evaluator{
+		cfg: cfg,
+		l1:  cache.New(cfg.L1D),
+		buf: NewBuffer(cfg.BufferBlocks),
+		p:   p,
+		res: &Result{
+			Prefetcher: p.Name(),
+			StreamHist: stats.StreamLengthHistogram(),
+			Meter:      meter,
+		},
+	}
+}
+
+// Step replays one access. It returns the triggering event delivered to
+// the prefetcher, if any (L1 hits trigger nothing).
+func (e *Evaluator) Step(a mem.Access) (Event, bool) {
+	r := e.res
+	r.Accesses++
+	line := a.Addr.Line()
+	if e.l1.Access(line, a.Write) {
+		r.L1Hits++
+		return Event{}, false
+	}
+	r.Misses++
+	if !a.Write {
+		r.ReadMisses++
+	}
+
+	ev := Event{PC: a.PC, Line: line, Write: a.Write}
+	if tag, ok := e.buf.Consume(line); ok {
+		ev.Kind = mem.EventPrefetchHit
+		ev.Tag = tag
+		r.Covered++
+		if !a.Write {
+			r.ReadCovered++
+		}
+		r.curRun++
+		r.Meter.RecordBlock(dram.PrefetchUseful)
+	} else {
+		ev.Kind = mem.EventMiss
+		if r.curRun > 0 {
+			r.StreamHist.Observe(r.curRun)
+			r.curRun = 0
+		}
+		r.Meter.RecordBlock(dram.Demand)
+	}
+	if evicted, wasValid := e.l1.Insert(line, a.Write); wasValid {
+		_ = evicted // writeback traffic is modelled in the timing layer
+	}
+
+	for _, c := range e.p.Trigger(ev) {
+		if e.l1.Contains(c.Line) || e.buf.Contains(c.Line) {
+			continue // redundant prefetch: already on chip
+		}
+		e.buf.Insert(c.Line, c.Tag)
+	}
+	return ev, true
+}
+
+// ResetStats discards everything measured so far — counters, stream
+// histogram, and traffic — while keeping all warm state: cache and buffer
+// contents and, crucially, the prefetcher's accumulated history. It is the
+// boundary between warmup and measurement, mirroring the paper's
+// methodology of measuring from checkpoints with warmed state.
+func (e *Evaluator) ResetStats() {
+	name, meter := e.res.Prefetcher, e.res.Meter
+	meter.Reset()
+	e.buf.ResetCounters()
+	e.res = &Result{
+		Prefetcher: name,
+		StreamHist: stats.StreamLengthHistogram(),
+		Meter:      meter,
+	}
+}
+
+// Finish closes the run and returns the final Result. Calling Finish more
+// than once returns the same Result.
+func (e *Evaluator) Finish() *Result {
+	if e.closed {
+		return e.res
+	}
+	e.closed = true
+	r := e.res
+	if r.curRun > 0 {
+		r.StreamHist.Observe(r.curRun)
+		r.curRun = 0
+	}
+	r.Issued = e.buf.Issued()
+	r.Used = e.buf.Used()
+	// Resolve prefetch traffic classes: every issued prefetch moved one
+	// block from memory; the unconsumed ones are overhead. After a warmup
+	// reset, Used can exceed Issued (blocks prefetched during warmup but
+	// consumed during measurement); that surplus is simply not overhead.
+	if r.Issued > r.Used {
+		r.Meter.RecordBlocks(dram.PrefetchWrong, r.Issued-r.Used)
+	}
+	return r
+}
+
+// MissLines replays the trace through an L1-D with no prefetcher and
+// returns the miss line sequence — the input the paper feeds to Sequitur
+// and to the lookup-depth analyses. Because covered misses fill the L1
+// exactly as baseline fills would, this is the same sequence of triggering
+// events every prefetcher observes.
+func MissLines(tr trace.Reader, cfg EvalConfig) []mem.Line {
+	if cfg.L1D.SizeBytes == 0 {
+		cfg.L1D = cache.L1D()
+	}
+	l1 := cache.New(cfg.L1D)
+	var out []mem.Line
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		line := a.Addr.Line()
+		if !l1.Access(line, a.Write) {
+			out = append(out, line)
+			l1.Insert(line, a.Write)
+		}
+	}
+	return out
+}
+
+// Run replays the whole trace through p and returns the Result.
+func Run(tr trace.Reader, p Prefetcher, cfg EvalConfig) *Result {
+	return RunWarm(tr, p, cfg, 0)
+}
+
+// RunWarm replays the first warmup accesses to warm caches, buffers and
+// prefetcher metadata, resets the statistics, and measures the rest of the
+// trace — the paper's warmed-checkpoint measurement methodology.
+func RunWarm(tr trace.Reader, p Prefetcher, cfg EvalConfig, warmup int) *Result {
+	e := NewEvaluator(p, cfg)
+	n := 0
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		e.Step(a)
+		n++
+		if n == warmup {
+			e.ResetStats()
+		}
+	}
+	return e.Finish()
+}

@@ -1,0 +1,162 @@
+package prefetch
+
+import (
+	"domino/internal/mem"
+)
+
+// Stream is one active temporal stream being replayed out of the history
+// table: the sequence of line addresses that followed the stream's trigger
+// in the recorded history. STMS, Digram and Domino each keep a small number
+// of active streams (4 in the paper's configuration) and advance the stream
+// responsible for each prefetch hit.
+type Stream struct {
+	// Queue holds upcoming line addresses not yet issued (the contents
+	// of the prefetcher's PointBuf for this stream).
+	Queue []mem.Line
+	// Refill, if non-nil, fetches the next batch of history when Queue
+	// runs dry (the next row of the HT; the prefetcher's Refill closure
+	// accounts the metadata-read traffic). A nil or empty result ends
+	// the stream.
+	Refill func() []mem.Line
+	// Tag is attached to candidates issued for this stream.
+	Tag string
+
+	sinceHit int
+	ended    bool
+	inflight []mem.Line // lines issued for this stream, for O(1) disowning
+}
+
+// Next pops the next line to prefetch, refilling from history as needed.
+// It returns false when the stream has no more history.
+func (s *Stream) Next() (mem.Line, bool) {
+	for len(s.Queue) == 0 {
+		if s.ended || s.Refill == nil {
+			return 0, false
+		}
+		more := s.Refill()
+		if len(more) == 0 {
+			s.Refill = nil
+			return 0, false
+		}
+		s.Queue = append(s.Queue, more...)
+	}
+	l := s.Queue[0]
+	s.Queue = s.Queue[1:]
+	return l, true
+}
+
+// Ended reports whether stream-end detection retired the stream.
+func (s *Stream) Ended() bool { return s.ended }
+
+// StreamSet tracks the active streams of a temporal prefetcher: at most max
+// streams in MRU order, ownership of in-flight prefetched lines, and the
+// stream-end detection heuristic — a stream that sees endAfter consecutive
+// demand misses without any of its prefetches being consumed is considered
+// ended and becomes the preferred replacement victim, and stops issuing.
+type StreamSet struct {
+	max      int
+	endAfter int
+	streams  []*Stream // index 0 is most recently used
+	owner    map[mem.Line]*Stream
+}
+
+// NewStreamSet returns a set of up to max streams with the given
+// stream-end threshold.
+func NewStreamSet(max, endAfter int) *StreamSet {
+	if max <= 0 {
+		max = 1
+	}
+	if endAfter <= 0 {
+		endAfter = 1
+	}
+	return &StreamSet{
+		max:      max,
+		endAfter: endAfter,
+		owner:    make(map[mem.Line]*Stream),
+	}
+}
+
+// Len returns the number of active streams.
+func (ss *StreamSet) Len() int { return len(ss.streams) }
+
+// Insert installs a new stream as MRU. If the set is full it evicts an
+// ended stream if one exists, otherwise the LRU stream; the victim's
+// in-flight lines are disowned (their later consumption no longer advances
+// any stream, matching the paper's "discarding the contents of the prefetch
+// buffer and PointBuf related to the replaced stream").
+func (ss *StreamSet) Insert(s *Stream) (evicted *Stream) {
+	if len(ss.streams) >= ss.max {
+		victim := len(ss.streams) - 1
+		for i := len(ss.streams) - 1; i >= 0; i-- {
+			if ss.streams[i].ended {
+				victim = i
+				break
+			}
+		}
+		evicted = ss.streams[victim]
+		ss.streams = append(ss.streams[:victim], ss.streams[victim+1:]...)
+		ss.disown(evicted)
+	}
+	ss.streams = append([]*Stream{s}, ss.streams...)
+	return evicted
+}
+
+func (ss *StreamSet) disown(s *Stream) {
+	for _, line := range s.inflight {
+		if ss.owner[line] == s {
+			delete(ss.owner, line)
+		}
+	}
+	s.inflight = nil
+}
+
+// Issued records that line was prefetched on behalf of s. If another
+// stream had an in-flight claim on the same line, the newer stream wins.
+func (ss *StreamSet) Issued(s *Stream, line mem.Line) {
+	ss.owner[line] = s
+	s.inflight = append(s.inflight, line)
+}
+
+// OnPrefetchHit attributes a consumed line to its stream. The stream is
+// promoted to MRU and its end-detection age resets. It returns nil when no
+// active stream owns the line (e.g. its stream was replaced).
+func (ss *StreamSet) OnPrefetchHit(line mem.Line) *Stream {
+	s, ok := ss.owner[line]
+	if !ok {
+		return nil
+	}
+	delete(ss.owner, line)
+	s.sinceHit = 0
+	s.ended = false
+	ss.promote(s)
+	return s
+}
+
+func (ss *StreamSet) promote(s *Stream) {
+	for i, cur := range ss.streams {
+		if cur == s {
+			copy(ss.streams[1:i+1], ss.streams[:i])
+			ss.streams[0] = s
+			return
+		}
+	}
+}
+
+// OnMiss ages every active stream by one demand miss; streams that reach
+// the end threshold are marked ended.
+func (ss *StreamSet) OnMiss() {
+	for _, s := range ss.streams {
+		s.sinceHit++
+		if s.sinceHit >= ss.endAfter {
+			s.ended = true
+		}
+	}
+}
+
+// MRU returns the most recently used stream, or nil.
+func (ss *StreamSet) MRU() *Stream {
+	if len(ss.streams) == 0 {
+		return nil
+	}
+	return ss.streams[0]
+}

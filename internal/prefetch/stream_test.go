@@ -1,0 +1,138 @@
+package prefetch
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+)
+
+func TestStreamNextAndRefill(t *testing.T) {
+	calls := 0
+	s := &Stream{
+		Queue: []mem.Line{1, 2},
+		Refill: func() []mem.Line {
+			calls++
+			if calls == 1 {
+				return []mem.Line{3}
+			}
+			return nil
+		},
+	}
+	var got []mem.Line
+	for {
+		l, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, l)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should stay exhausted")
+	}
+}
+
+func TestStreamSetInsertEviction(t *testing.T) {
+	ss := NewStreamSet(2, 4)
+	a := &Stream{}
+	b := &Stream{}
+	c := &Stream{}
+	ss.Insert(a)
+	ss.Insert(b)
+	if ev := ss.Insert(c); ev != a {
+		t.Fatalf("evicted %p, want a=%p", ev, a)
+	}
+	if ss.Len() != 2 || ss.MRU() != c {
+		t.Fatal("set state wrong")
+	}
+}
+
+func TestStreamSetPrefersEndedVictim(t *testing.T) {
+	ss := NewStreamSet(2, 1)
+	a := &Stream{}
+	b := &Stream{}
+	ss.Insert(a)
+	ss.Insert(b) // b is MRU, a is LRU
+	ss.OnMiss()  // endAfter=1: both marked ended
+	ss.Issued(b, 7)
+	ss.OnPrefetchHit(7) // revives b
+	c := &Stream{}
+	if ev := ss.Insert(c); ev != a {
+		t.Fatalf("evicted %p, want ended a", ev)
+	}
+}
+
+func TestOnPrefetchHitOwnership(t *testing.T) {
+	ss := NewStreamSet(4, 4)
+	a := &Stream{}
+	ss.Insert(a)
+	ss.Issued(a, 42)
+	if got := ss.OnPrefetchHit(42); got != a {
+		t.Fatal("hit not attributed")
+	}
+	if got := ss.OnPrefetchHit(42); got != nil {
+		t.Fatal("hit attributed twice")
+	}
+}
+
+func TestDisownOnEviction(t *testing.T) {
+	ss := NewStreamSet(1, 4)
+	a := &Stream{}
+	ss.Insert(a)
+	ss.Issued(a, 5)
+	b := &Stream{}
+	ss.Insert(b) // evicts a, disowning line 5
+	if got := ss.OnPrefetchHit(5); got != nil {
+		t.Fatalf("hit on disowned line attributed to %p", got)
+	}
+}
+
+func TestEndDetectionAndRevival(t *testing.T) {
+	ss := NewStreamSet(2, 2)
+	a := &Stream{}
+	ss.Insert(a)
+	ss.Issued(a, 1)
+	ss.OnMiss()
+	if a.Ended() {
+		t.Fatal("ended too early")
+	}
+	ss.OnMiss()
+	if !a.Ended() {
+		t.Fatal("not ended after threshold")
+	}
+	// A hit revives the stream.
+	if ss.OnPrefetchHit(1) != a || a.Ended() {
+		t.Fatal("hit did not revive stream")
+	}
+}
+
+func TestPromoteToMRU(t *testing.T) {
+	ss := NewStreamSet(3, 4)
+	a, b, c := &Stream{}, &Stream{}, &Stream{}
+	ss.Insert(a)
+	ss.Insert(b)
+	ss.Insert(c) // order: c, b, a
+	ss.Issued(a, 9)
+	ss.OnPrefetchHit(9) // a promoted to MRU
+	if ss.MRU() != a {
+		t.Fatal("promote failed")
+	}
+	d := &Stream{}
+	if ev := ss.Insert(d); ev != b {
+		t.Fatalf("evicted wrong stream") // LRU should be b
+	}
+}
+
+func TestNewerStreamWinsOwnership(t *testing.T) {
+	ss := NewStreamSet(4, 4)
+	a, b := &Stream{}, &Stream{}
+	ss.Insert(a)
+	ss.Insert(b)
+	ss.Issued(a, 3)
+	ss.Issued(b, 3)
+	if got := ss.OnPrefetchHit(3); got != b {
+		t.Fatal("newest claim should win")
+	}
+}

@@ -1,0 +1,75 @@
+package sequitur
+
+import (
+	"domino/internal/stats"
+)
+
+// Analysis is the temporal-opportunity measurement the paper derives from
+// Sequitur (Figures 1, 2 and 12). After the whole miss sequence has been
+// absorbed, the top-level rule partitions the sequence into:
+//
+//   - rule references: repeated subsequences — the temporal *streams* an
+//     oracle prefetcher could replay, and
+//   - bare terminals: misses that never took part in a repetition and that
+//     no temporal prefetcher can cover.
+//
+// For a stream of length L the oracle covers L-1 misses: the stream's first
+// miss is the lookup trigger (the paper: "at the end of each stream [the
+// prefetcher] inevitably encounters a cache miss" — that miss triggers the
+// next stream). Stream *length* counts all L misses, matching Figure 2's
+// definition of the full repeated segment.
+type Analysis struct {
+	// TotalMisses is the length of the analysed sequence.
+	TotalMisses int
+	// Streams is the number of repeated segments in the top-level rule.
+	Streams int
+	// InStreamMisses is the number of misses inside repeated segments.
+	InStreamMisses int
+	// CoveredMisses is the oracle coverage: sum over streams of (len-1).
+	CoveredMisses int
+	// Hist is the stream-length histogram with Figure 12's buckets.
+	Hist *stats.Histogram
+}
+
+// Coverage returns the oracle (opportunity) coverage fraction.
+func (a Analysis) Coverage() float64 {
+	return stats.Ratio(float64(a.CoveredMisses), float64(a.TotalMisses))
+}
+
+// MeanStreamLength returns the average repeated-segment length (Figure 2's
+// Sequitur series).
+func (a Analysis) MeanStreamLength() float64 {
+	return a.Hist.Mean()
+}
+
+// FractionShortStreams returns the fraction of streams with length <= 2 —
+// the streams Digram cannot act on (Section V-B).
+func (a Analysis) FractionShortStreams() float64 {
+	return a.Hist.FractionAtOrBelow(2)
+}
+
+// Analyze builds a grammar over the sequence and measures it.
+func Analyze(seq []uint64) Analysis {
+	g := New()
+	g.AppendAll(seq)
+	return g.Analyze()
+}
+
+// Analyze measures the grammar's top-level rule. Call it after the whole
+// sequence has been appended.
+func (g *Grammar) Analyze() Analysis {
+	a := Analysis{Hist: stats.StreamLengthHistogram()}
+	for s := g.root.first(); !s.isGuard(); s = s.next {
+		if s.isNonTerminal() {
+			l := expLenOf(s.rule)
+			a.Streams++
+			a.InStreamMisses += l
+			a.CoveredMisses += l - 1
+			a.TotalMisses += l
+			a.Hist.Observe(int64(l))
+		} else {
+			a.TotalMisses++
+		}
+	}
+	return a
+}

@@ -1,0 +1,44 @@
+package sequitur
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGrammar feeds arbitrary byte sequences (as small-alphabet symbol
+// streams) to the grammar: the expansion must always reproduce the input
+// and the analysis totals must balance.
+func FuzzGrammar(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte("abbbabcbb"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		in := make([]uint64, len(raw))
+		for i, b := range raw {
+			in[i] = uint64(b % 9)
+		}
+		g := New()
+		g.AppendAll(in)
+		got := Expansion(g.Root())
+		if len(in) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("expansion of empty input = %v", got)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("expansion mismatch")
+		}
+		a := g.Analyze()
+		if a.TotalMisses != len(in) {
+			t.Fatalf("TotalMisses = %d, want %d", a.TotalMisses, len(in))
+		}
+		if a.InStreamMisses != a.CoveredMisses+a.Streams {
+			t.Fatal("analysis totals do not balance")
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package sequitur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Production is one rule of the final grammar in a printable form.
+type Production struct {
+	// ID is the rule identifier; 0 is the top-level rule.
+	ID int
+	// Symbols are the rule body: "Rn" for rule references, hexadecimal
+	// line numbers for terminals.
+	Symbols []string
+	// Uses is how many times the rule is referenced (0 for the root).
+	Uses int
+	// ExpansionLen is the number of terminals the rule expands to.
+	ExpansionLen int
+}
+
+// Productions returns the grammar's live rules, root first, then by
+// descending expansion length — the repeated temporal streams a miss
+// sequence contains, largest first. limit bounds the non-root rules
+// returned (0 = all).
+func (g *Grammar) Productions(limit int) []Production {
+	rules := map[*Rule]bool{g.root: true}
+	order := []*Rule{g.root}
+	var collect func(r *Rule)
+	collect = func(r *Rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() && !rules[s.rule] {
+				rules[s.rule] = true
+				order = append(order, s.rule)
+				collect(s.rule)
+			}
+		}
+	}
+	collect(g.root)
+
+	out := make([]Production, 0, len(order))
+	for _, r := range order {
+		p := Production{ID: r.ID, Uses: r.count, ExpansionLen: expLenOf(r)}
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() {
+				p.Symbols = append(p.Symbols, fmt.Sprintf("R%d", s.rule.ID))
+			} else {
+				p.Symbols = append(p.Symbols, fmt.Sprintf("%x", s.value))
+			}
+		}
+		out = append(out, p)
+	}
+	root, rest := out[0], out[1:]
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].ExpansionLen != rest[j].ExpansionLen {
+			return rest[i].ExpansionLen > rest[j].ExpansionLen
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	if limit > 0 && len(rest) > limit {
+		rest = rest[:limit]
+	}
+	return append([]Production{root}, rest...)
+}
+
+// String renders a production as "Rn -> a b c   (uses=2, expands=5)".
+func (p Production) String() string {
+	body := strings.Join(p.Symbols, " ")
+	if p.ID == 0 {
+		return fmt.Sprintf("R0 -> %s", body)
+	}
+	return fmt.Sprintf("R%d -> %s   (uses=%d, expands=%d)", p.ID, body, p.Uses, p.ExpansionLen)
+}

@@ -1,0 +1,92 @@
+package sequitur
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// nonOverlappingDuplicate reports whether any digram occurs twice in the
+// grammar at non-overlapping positions — a violation of Sequitur's digram
+// uniqueness invariant.
+func nonOverlappingDuplicate(g *Grammar) bool {
+	rules := map[*Rule]bool{g.root: true}
+	var collect func(r *Rule)
+	collect = func(r *Rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() && !rules[s.rule] {
+				rules[s.rule] = true
+				collect(s.rule)
+			}
+		}
+	}
+	collect(g.root)
+	seen := map[digram][]*symbol{}
+	for r := range rules {
+		for s := r.first(); !s.isGuard() && !s.next.isGuard(); s = s.next {
+			seen[keyOf(s)] = append(seen[keyOf(s)], s)
+		}
+	}
+	for _, occ := range seen {
+		for i := 0; i < len(occ); i++ {
+			for j := i + 1; j < len(occ); j++ {
+				if occ[i].next != occ[j] && occ[j].next != occ[i] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestTripleRegression is the sequence that exposed the missing
+// triple-handling in join: deleting a symbol adjacent to a run like
+// "1 1 1" removed the recorded overlapping digram from the index, so a
+// later "1 1" repeat went unnoticed.
+func TestTripleRegression(t *testing.T) {
+	in := []uint64{3, 1, 4, 0, 0, 4, 1, 1, 1, 3, 3, 0, 2, 2, 4, 1, 0, 2, 0,
+		3, 4, 3, 4, 3, 3, 4, 3, 2, 1, 0, 3, 4, 2, 1, 2, 1, 3, 4, 0, 3, 0, 2,
+		1, 1, 2, 2, 2}
+	g := New()
+	for i, v := range in {
+		g.Append(v)
+		if nonOverlappingDuplicate(g) {
+			t.Fatalf("digram uniqueness violated after appending index %d", i)
+		}
+	}
+	if got := Expansion(g.Root()); !reflect.DeepEqual(got, in) {
+		t.Fatalf("expansion mismatch: %v", got)
+	}
+}
+
+// TestTripleDocExample is the example from the canonical implementation's
+// own comment: "abbbabcbb".
+func TestTripleDocExample(t *testing.T) {
+	in := []uint64{'a', 'b', 'b', 'b', 'a', 'b', 'c', 'b', 'b'}
+	g := New()
+	g.AppendAll(in)
+	if nonOverlappingDuplicate(g) {
+		t.Fatal("digram uniqueness violated on abbbabcbb")
+	}
+	if got := Expansion(g.Root()); !reflect.DeepEqual(got, in) {
+		t.Fatalf("expansion mismatch: %v", got)
+	}
+}
+
+// TestStepwiseUniquenessQuick checks digram uniqueness after *every* append
+// on random small-alphabet sequences, not just at the end.
+func TestStepwiseUniquenessQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		g := New()
+		for _, b := range raw {
+			g.Append(uint64(b % 4)) // alphabet of 4 => many runs and triples
+			if nonOverlappingDuplicate(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package sequitur implements the Sequitur hierarchical grammar-inference
+// algorithm of Nevill-Manning and Witten ("Identifying Hierarchical
+// Structure in Sequences: A Linear-time Algorithm", JAIR 1997), which the
+// paper — like the prior temporal-streaming literature — uses to measure
+// the *opportunity* of temporal prefetching: how much of a miss sequence is
+// made of repeated subsequences that an oracle prefetcher could replay.
+//
+// Sequitur reads the input one symbol at a time and maintains a context-free
+// grammar with two invariants:
+//
+//   - digram uniqueness: no pair of adjacent symbols appears more than once
+//     in the grammar; a repeated digram is replaced by a rule, and
+//   - rule utility: every rule is referenced at least twice; a rule that
+//     drops to one reference is inlined.
+//
+// After the whole miss sequence has been absorbed, the top-level rule is a
+// partition of the sequence into literal (never-repeated) symbols and rule
+// references (repeated subsequences). The analysis layer (analysis.go)
+// converts that partition into the opportunity coverage of Figure 1, the
+// average stream length of Figure 2, and the stream-length histogram of
+// Figure 12.
+package sequitur
+
+// symbol is a node in a rule's doubly-linked body. Exactly one of three
+// roles: terminal (rule == nil, owner == nil), non-terminal reference
+// (rule != nil), or the guard sentinel of a rule (owner != nil). The guard
+// closes the circular list: first.prev == guard and last.next == guard.
+type symbol struct {
+	next, prev *symbol
+	value      uint64 // terminal value when rule == nil
+	rule       *Rule  // referenced rule for non-terminals
+	owner      *Rule  // owning rule for guard symbols
+}
+
+func (s *symbol) isGuard() bool       { return s.owner != nil }
+func (s *symbol) isNonTerminal() bool { return s.rule != nil && s.owner == nil }
+func (s *symbol) isTerminal() bool    { return s.rule == nil && s.owner == nil }
+
+// Rule is a grammar production. Its body is the circular list hanging off
+// guard.
+type Rule struct {
+	guard *symbol
+	// count is the number of non-terminal symbols referencing this rule.
+	count int
+	// ID is a stable identifier; the top-level rule has ID 0.
+	ID int
+	// expLen caches the expansion length; 0 means not yet computed.
+	expLen int
+}
+
+func (r *Rule) first() *symbol { return r.guard.next }
+func (r *Rule) last() *symbol  { return r.guard.prev }
+func (r *Rule) empty() bool    { return r.guard.next == r.guard }
+
+// digram is the index key for a pair of adjacent symbols. Terminals and
+// non-terminals never collide because a non-terminal's half carries its
+// rule pointer.
+type digram struct {
+	r1, r2 *Rule
+	v1, v2 uint64
+}
+
+func keyOf(s *symbol) digram {
+	n := s.next
+	return digram{r1: s.rule, v1: s.value, r2: n.rule, v2: n.value}
+}
+
+// Grammar incrementally builds a Sequitur grammar. Construct with New and
+// feed the sequence with Append.
+type Grammar struct {
+	root    *Rule
+	digrams map[digram]*symbol
+	nextID  int
+	nRules  int
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	g := &Grammar{digrams: make(map[digram]*symbol)}
+	g.root = g.newRule()
+	return g
+}
+
+// Root returns the top-level rule.
+func (g *Grammar) Root() *Rule { return g.root }
+
+// Rules returns the number of live rules, including the root.
+func (g *Grammar) Rules() int { return g.nRules }
+
+func (g *Grammar) newRule() *Rule {
+	r := &Rule{ID: g.nextID}
+	g.nextID++
+	g.nRules++
+	guard := &symbol{owner: r}
+	guard.next = guard
+	guard.prev = guard
+	r.guard = guard
+	return r
+}
+
+func (g *Grammar) freeRule(r *Rule) { g.nRules-- }
+
+// sameContent reports whether two symbols carry the same terminal value or
+// reference the same rule. Guards never match anything.
+func sameContent(a, b *symbol) bool {
+	if a.isGuard() || b.isGuard() {
+		return false
+	}
+	return a.rule == b.rule && a.value == b.value
+}
+
+// join links l -> r, removing from the index the digram that previously
+// started at l (if any).
+//
+// The two re-insertions below are the canonical implementation's handling
+// of triples (runs such as "b b b", where only one of the two overlapping
+// digram occurrences is recorded): when a deletion next to a run removes
+// the recorded occurrence, the surviving overlapping occurrence must be put
+// back into the index or a later repeat of the digram would go unnoticed
+// (e.g. the sequence "abbbabcbb").
+func (g *Grammar) join(l, r *symbol) {
+	if l.next != nil {
+		g.deleteDigram(l)
+		if r.prev != nil && r.next != nil &&
+			sameContent(r, r.prev) && sameContent(r, r.next) {
+			g.digrams[keyOf(r)] = r
+		}
+		if l.prev != nil && l.next != nil &&
+			sameContent(l, l.next) && sameContent(l, l.prev) {
+			g.digrams[keyOf(l.prev)] = l.prev
+		}
+	}
+	l.next = r
+	r.prev = l
+}
+
+// deleteDigram removes the digram starting at s from the index, if that
+// index entry points at s.
+func (g *Grammar) deleteDigram(s *symbol) {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
+		return
+	}
+	k := keyOf(s)
+	if g.digrams[k] == s {
+		delete(g.digrams, k)
+	}
+}
+
+// insertAfter places n immediately after s.
+func (g *Grammar) insertAfter(s, n *symbol) {
+	g.join(n, s.next)
+	g.join(s, n)
+}
+
+// newSym constructs a terminal symbol.
+func newSym(v uint64) *symbol { return &symbol{value: v} }
+
+// newRef constructs a non-terminal referencing r and bumps r's use count.
+func newRef(r *Rule) *symbol {
+	r.count++
+	return &symbol{rule: r}
+}
+
+// cloneOf copies a symbol's content (terminal value or rule reference),
+// bumping the referenced rule's count for non-terminals.
+func cloneOf(s *symbol) *symbol {
+	if s.isNonTerminal() {
+		return newRef(s.rule)
+	}
+	return newSym(s.value)
+}
+
+// remove unlinks s from its list, cleaning up the index entry for the
+// digram that starts at s and dropping the rule reference count for
+// non-terminals.
+func (g *Grammar) remove(s *symbol) {
+	g.join(s.prev, s.next)
+	if !s.isGuard() {
+		g.deleteDigram(s)
+		if s.isNonTerminal() {
+			s.rule.count--
+		}
+	}
+	s.next, s.prev = nil, nil
+}
+
+// Append feeds the next terminal of the input sequence into the grammar.
+func (g *Grammar) Append(v uint64) {
+	s := newSym(v)
+	g.insertAfter(g.root.last(), s)
+	g.check(s.prev)
+}
+
+// AppendAll feeds a whole sequence.
+func (g *Grammar) AppendAll(vs []uint64) {
+	for _, v := range vs {
+		g.Append(v)
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at s. It
+// returns true if the grammar was restructured.
+func (g *Grammar) check(s *symbol) bool {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
+		return false
+	}
+	k := keyOf(s)
+	found, ok := g.digrams[k]
+	if !ok {
+		g.digrams[k] = s
+		return false
+	}
+	if found.next != s { // overlapping occurrences (e.g. "aaa") are left alone
+		g.match(s, found)
+		return true
+	}
+	return false
+}
+
+// match resolves a repeated digram: s is the newly formed occurrence,
+// m the indexed one.
+func (g *Grammar) match(s, m *symbol) {
+	var r *Rule
+	if m.prev.isGuard() && m.next.next.isGuard() {
+		// The matching digram is exactly the body of an existing rule:
+		// reuse that rule.
+		r = m.prev.owner
+		g.substitute(s, r)
+	} else {
+		// Create a new rule for the digram and substitute both
+		// occurrences.
+		r = g.newRule()
+		g.insertAfter(r.last(), cloneOf(s))
+		g.insertAfter(r.last(), cloneOf(s.next))
+		g.substitute(m, r)
+		g.substitute(s, r)
+		g.digrams[keyOf(r.first())] = r.first()
+	}
+	// Rule utility: if the new rule's first symbol references a rule that
+	// is now used only once, inline it.
+	if r.first().isNonTerminal() && r.first().rule.count == 1 {
+		g.expand(r.first())
+	}
+}
+
+// substitute replaces the digram starting at s with a reference to r.
+func (g *Grammar) substitute(s *symbol, r *Rule) {
+	q := s.prev
+	g.remove(q.next)
+	g.remove(q.next)
+	g.insertAfter(q, newRef(r))
+	if !g.check(q) {
+		g.check(q.next)
+	}
+}
+
+// expand inlines rule s.rule (which has exactly one remaining reference, s)
+// at s's position and frees the rule.
+func (g *Grammar) expand(s *symbol) {
+	left, right := s.prev, s.next
+	r := s.rule
+	f, l := r.first(), r.last()
+	// Unlink s without disturbing r's body. remove() handles index and
+	// count bookkeeping for s itself.
+	g.remove(s)
+	g.freeRule(r)
+	g.join(left, f)
+	g.join(l, right)
+	g.digrams[keyOf(l)] = l
+}
+
+// Expansion returns the full expansion of rule r as terminal values. The
+// root rule's expansion reproduces the original input exactly (tested).
+func Expansion(r *Rule) []uint64 {
+	var out []uint64
+	var walk func(*Rule)
+	walk = func(r *Rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() {
+				walk(s.rule)
+			} else {
+				out = append(out, s.value)
+			}
+		}
+	}
+	walk(r)
+	return out
+}
+
+// expLenOf returns (memoised) the number of terminals in r's expansion.
+func expLenOf(r *Rule) int {
+	if r.expLen > 0 {
+		return r.expLen
+	}
+	n := 0
+	for s := r.first(); !s.isGuard(); s = s.next {
+		if s.isNonTerminal() {
+			n += expLenOf(s.rule)
+		} else {
+			n++
+		}
+	}
+	r.expLen = n
+	return n
+}

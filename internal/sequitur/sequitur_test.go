@@ -1,0 +1,275 @@
+package sequitur
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// expandAll reproduces the input from the grammar's root rule.
+func expandAll(g *Grammar) []uint64 { return Expansion(g.Root()) }
+
+func TestExpansionReproducesInput(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{1},
+		{1, 2, 3},
+		{1, 1, 1, 1, 1, 1},
+		{1, 2, 1, 2},
+		{1, 2, 3, 1, 2, 3},
+		{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4},
+		{1, 2, 1, 2, 3, 1, 2, 1, 2, 3},
+		{5, 5, 5, 5, 2, 5, 5, 5, 5, 2},
+	}
+	for _, in := range cases {
+		g := New()
+		g.AppendAll(in)
+		got := expandAll(g)
+		if len(in) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Errorf("Expansion(%v) = %v", in, got)
+		}
+	}
+}
+
+// checkInvariants verifies digram uniqueness and rule utility on the final
+// grammar by walking every rule body.
+func checkInvariants(t *testing.T, g *Grammar, input []uint64) {
+	t.Helper()
+	// Collect all rules reachable from the root.
+	rules := map[*Rule]bool{g.root: true}
+	var collect func(r *Rule)
+	collect = func(r *Rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() && !rules[s.rule] {
+				rules[s.rule] = true
+				collect(s.rule)
+			}
+		}
+	}
+	collect(g.root)
+
+	// Rule utility: every non-root rule is referenced at least twice.
+	refs := map[*Rule]int{}
+	for r := range rules {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerminal() {
+				refs[s.rule]++
+			}
+		}
+	}
+	for r, n := range refs {
+		if n < 2 {
+			t.Errorf("rule %d referenced %d times; rule utility violated", r.ID, n)
+		}
+		if n != r.count {
+			t.Errorf("rule %d count=%d but %d references found", r.ID, r.count, n)
+		}
+	}
+
+	// Digram uniqueness: no adjacent pair occurs twice across the grammar,
+	// except for overlapping occurrences (the "aaa" case), which canonical
+	// Sequitur leaves alone.
+	seen := map[digram][]*symbol{}
+	for r := range rules {
+		for s := r.first(); !s.isGuard() && !s.next.isGuard(); s = s.next {
+			seen[keyOf(s)] = append(seen[keyOf(s)], s)
+		}
+	}
+	for d, occ := range seen {
+		for i := 0; i < len(occ); i++ {
+			for j := i + 1; j < len(occ); j++ {
+				a, b := occ[i], occ[j]
+				if a.next != b && b.next != a {
+					t.Errorf("digram %+v occurs non-overlapping %d times; uniqueness violated (input %v)", d, len(occ), input)
+				}
+			}
+		}
+	}
+
+	// Every rule body has at least two symbols.
+	for r := range rules {
+		n := 0
+		for s := r.first(); !s.isGuard(); s = s.next {
+			n++
+		}
+		if r != g.root && n < 2 {
+			t.Errorf("rule %d has %d symbols", r.ID, n)
+		}
+	}
+}
+
+func TestInvariantsOnKnownSequences(t *testing.T) {
+	cases := [][]uint64{
+		{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{1, 2, 1, 2, 1, 2, 3, 3, 3, 1, 2},
+		{4, 7, 4, 7, 8, 4, 7, 4, 7, 8, 9},
+	}
+	for _, in := range cases {
+		g := New()
+		g.AppendAll(in)
+		if got := expandAll(g); !reflect.DeepEqual(got, in) {
+			t.Fatalf("expansion mismatch: got %v want %v", got, in)
+		}
+		checkInvariants(t, g, in)
+	}
+}
+
+// TestQuickRandomSequences is the property-based test: for arbitrary short
+// sequences over a small alphabet (to force many repetitions), the grammar
+// must reproduce the input and keep its invariants.
+func TestQuickRandomSequences(t *testing.T) {
+	f := func(raw []byte) bool {
+		in := make([]uint64, len(raw))
+		for i, b := range raw {
+			in[i] = uint64(b % 5) // tiny alphabet => heavy repetition
+		}
+		g := New()
+		g.AppendAll(in)
+		got := expandAll(g)
+		if len(in) == 0 {
+			return len(got) == 0
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Logf("input %v expanded to %v", in, got)
+			return false
+		}
+		checkInvariants(t, g, in)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongRandomSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	in := make([]uint64, 20000)
+	for i := range in {
+		in[i] = uint64(rng.Intn(50))
+	}
+	g := New()
+	g.AppendAll(in)
+	if got := expandAll(g); !reflect.DeepEqual(got, in) {
+		t.Fatal("expansion mismatch on long random sequence")
+	}
+	checkInvariants(t, g, nil)
+}
+
+func TestAnalyzeTotals(t *testing.T) {
+	// 3 repetitions of a 4-long document with distinct separators.
+	in := []uint64{1, 2, 3, 4, 100, 1, 2, 3, 4, 101, 1, 2, 3, 4, 102}
+	a := Analyze(in)
+	if a.TotalMisses != len(in) {
+		t.Fatalf("TotalMisses = %d, want %d", a.TotalMisses, len(in))
+	}
+	if a.Streams == 0 {
+		t.Fatal("expected at least one stream")
+	}
+	if a.CoveredMisses <= 0 || a.CoveredMisses >= a.TotalMisses {
+		t.Fatalf("CoveredMisses = %d out of %d", a.CoveredMisses, a.TotalMisses)
+	}
+	if a.InStreamMisses != a.CoveredMisses+a.Streams {
+		t.Fatalf("InStreamMisses=%d != Covered+Streams=%d",
+			a.InStreamMisses, a.CoveredMisses+a.Streams)
+	}
+}
+
+func TestAnalyzeNoRepetition(t *testing.T) {
+	in := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	a := Analyze(in)
+	if a.Streams != 0 {
+		t.Fatalf("Streams = %d on repetition-free input", a.Streams)
+	}
+	if a.Coverage() != 0 {
+		t.Fatalf("Coverage = %v, want 0", a.Coverage())
+	}
+}
+
+func TestAnalyzeFullRepetition(t *testing.T) {
+	doc := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	var in []uint64
+	for i := 0; i < 8; i++ {
+		in = append(in, doc...)
+	}
+	a := Analyze(in)
+	if a.Coverage() < 0.5 {
+		t.Fatalf("Coverage = %v on fully repetitive input", a.Coverage())
+	}
+	if m := a.MeanStreamLength(); m < 2 {
+		t.Fatalf("MeanStreamLength = %v, want >= 2", m)
+	}
+}
+
+func TestAnalyzeTotalsQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		in := make([]uint64, len(raw))
+		for i, b := range raw {
+			in[i] = uint64(b % 7)
+		}
+		a := Analyze(in)
+		if a.TotalMisses != len(in) {
+			return false
+		}
+		if a.CoveredMisses < 0 || a.CoveredMisses > a.TotalMisses {
+			return false
+		}
+		return a.InStreamMisses == a.CoveredMisses+a.Streams
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleCountReflectsLiveRules(t *testing.T) {
+	g := New()
+	g.AppendAll([]uint64{1, 2, 1, 2, 1, 2})
+	if g.Rules() < 2 {
+		t.Fatalf("Rules() = %d, want >= 2 (root + digram rule)", g.Rules())
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]uint64, b.N)
+	for i := range in {
+		in[i] = uint64(rng.Intn(1000))
+	}
+	b.ResetTimer()
+	g := New()
+	g.AppendAll(in)
+}
+
+func TestProductions(t *testing.T) {
+	g := New()
+	g.AppendAll([]uint64{1, 2, 3, 1, 2, 3, 1, 2, 3})
+	prods := g.Productions(0)
+	if prods[0].ID != 0 {
+		t.Fatal("root must come first")
+	}
+	if len(prods) < 2 {
+		t.Fatalf("expected rules beyond the root, got %d", len(prods))
+	}
+	// Non-root rules sorted by descending expansion length.
+	for i := 2; i < len(prods); i++ {
+		if prods[i].ExpansionLen > prods[i-1].ExpansionLen {
+			t.Fatal("productions not sorted by expansion length")
+		}
+	}
+	for _, p := range prods[1:] {
+		if p.Uses < 2 {
+			t.Fatalf("rule %d used %d times", p.ID, p.Uses)
+		}
+		if p.String() == "" {
+			t.Fatal("empty production string")
+		}
+	}
+	// Limit bounds non-root rules.
+	if got := g.Productions(1); len(got) != 2 {
+		t.Fatalf("limit ignored: %d productions", len(got))
+	}
+}

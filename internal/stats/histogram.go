@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations into user-defined upper-bound buckets, the
+// way Figure 12 of the paper buckets temporal stream lengths into
+// 0, 2, 4, 8, ..., 128, 128+.
+//
+// The zero value is not usable; construct with NewHistogram.
+type Histogram struct {
+	// bounds[i] is the inclusive upper bound of bucket i. Observations
+	// greater than the last bound fall into the overflow bucket.
+	bounds   []int64
+	counts   []int64
+	overflow int64
+	total    int64
+	sum      int64
+}
+
+// NewHistogram returns a histogram with the given inclusive upper bounds,
+// which must be strictly increasing.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not increasing at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]int64, len(bounds)),
+	}
+}
+
+// StreamLengthHistogram returns a histogram with the exact bucket bounds of
+// Figure 12: 0, 2, 4, 8, 16, 32, 64, 128, and an implicit 128+ overflow.
+func StreamLengthHistogram() *Histogram {
+	return NewHistogram(0, 2, 4, 8, 16, 32, 64, 128)
+}
+
+// Observe records one observation of value v.
+func (h *Histogram) Observe(v int64) {
+	h.total++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Mean returns the arithmetic mean of the raw observed values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Count returns the count in bucket i (0-based); i == len(bounds) selects the
+// overflow bucket.
+func (h *Histogram) Count(i int) int64 {
+	if i == len(h.bounds) {
+		return h.overflow
+	}
+	return h.counts[i]
+}
+
+// Buckets returns the number of buckets including the overflow bucket.
+func (h *Histogram) Buckets() int { return len(h.bounds) + 1 }
+
+// Cumulative returns, for each bucket (including overflow), the cumulative
+// fraction of observations with value at or below the bucket's bound —
+// exactly the "Cum % of All Streams" series of Figure 12.
+func (h *Histogram) Cumulative() []float64 {
+	out := make([]float64, h.Buckets())
+	if h.total == 0 {
+		return out
+	}
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i]
+		out[i] = float64(run) / float64(h.total)
+	}
+	out[len(out)-1] = 1.0
+	return out
+}
+
+// FractionAtOrBelow returns the fraction of observations with value <= v.
+func (h *Histogram) FractionAtOrBelow(v int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	// The histogram only retains bucketed counts, so v must be one of the
+	// configured bounds to be answered exactly; we answer with the
+	// tightest bucket at or below v.
+	var run int64
+	for i, b := range h.bounds {
+		if b > v {
+			break
+		}
+		run += h.counts[i]
+	}
+	return float64(run) / float64(h.total)
+}
+
+// Labels returns display labels for each bucket: the bound values followed
+// by "N+" for the overflow bucket.
+func (h *Histogram) Labels() []string {
+	out := make([]string, 0, h.Buckets())
+	for _, b := range h.bounds {
+		out = append(out, fmt.Sprintf("%d", b))
+	}
+	if n := len(h.bounds); n > 0 {
+		out = append(out, fmt.Sprintf("%d+", h.bounds[n-1]))
+	} else {
+		out = append(out, "+")
+	}
+	return out
+}
+
+// String renders the cumulative distribution compactly for logs and tests.
+func (h *Histogram) String() string {
+	labels := h.Labels()
+	cum := h.Cumulative()
+	var b strings.Builder
+	for i := range labels {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s:%.0f%%", labels[i], cum[i]*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := StreamLengthHistogram()
+	if h.Buckets() != 9 {
+		t.Fatalf("Buckets = %d, want 9 (8 bounds + overflow)", h.Buckets())
+	}
+	labels := h.Labels()
+	if labels[0] != "0" || labels[7] != "128" || labels[8] != "128+" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(0, 2, 4)
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 1 { // v=0
+		t.Fatalf("bucket 0 = %d", h.Count(0))
+	}
+	if h.Count(1) != 2 { // v=1,2
+		t.Fatalf("bucket <=2 = %d", h.Count(1))
+	}
+	if h.Count(2) != 2 { // v=3,4
+		t.Fatalf("bucket <=4 = %d", h.Count(2))
+	}
+	if h.Count(3) != 2 { // overflow v=5,100
+		t.Fatalf("overflow = %d", h.Count(3))
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	cum := h.Cumulative()
+	want := []float64{1.0 / 3, 2.0 / 3, 1.0}
+	for i := range want {
+		if d := cum[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("Cumulative[%d] = %v, want %v", i, cum[i], want[i])
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if NewHistogram(1).Mean() != 0 {
+		t.Fatal("empty Mean")
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	h := StreamLengthHistogram()
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(10)
+	h.Observe(50)
+	if got := h.FractionAtOrBelow(2); got != 0.5 {
+		t.Fatalf("FractionAtOrBelow(2) = %v", got)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-increasing bounds")
+		}
+	}()
+	NewHistogram(2, 2)
+}
+
+func TestHistogramInvariantsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := StreamLengthHistogram()
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		if h.Total() != int64(len(raw)) {
+			return false
+		}
+		var sum int64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		if sum != h.Total() {
+			return false
+		}
+		cum := h.Cumulative()
+		prev := 0.0
+		for _, c := range cum {
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return len(raw) == 0 || cum[len(cum)-1] == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

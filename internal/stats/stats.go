@@ -1,0 +1,98 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: arithmetic and geometric means, rates, cumulative
+// histograms, and normal-approximation confidence intervals. It exists so
+// that every figure of the paper is computed with the same, tested,
+// numerics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice.
+// All elements must be positive; non-positive elements are skipped the way
+// the paper's GMean speedup column skips undefined points.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Variance returns the sample variance (n-1 denominator) of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Ratio returns num/den, or 0 when den is 0. It keeps rate computations
+// (coverage, overprediction, bandwidth overhead) from dividing by zero on
+// degenerate traces.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Percent formats a fraction as a percentage with one decimal, e.g. "56.2%".
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean of
+// xs under the normal approximation (1.96 * stderr). The paper reports its
+// performance measurements with 95% confidence and <4% error; the timing
+// experiments use this to report the same.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatalf("GeoMean([1,4]) = %v", GeoMean([]float64{1, 4}))
+	}
+	// Non-positive entries are skipped.
+	if !almost(GeoMean([]float64{0, 2, 8}), 4) {
+		t.Fatalf("GeoMean skip = %v", GeoMean([]float64{0, 2, 8}))
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{0}) != 0 {
+		t.Fatal("GeoMean degenerate cases")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Variance(xs), 32.0/7) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs)*StdDev(xs), Variance(xs)) {
+		t.Fatal("StdDev inconsistent with Variance")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of singleton")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio divide by zero")
+	}
+	if !almost(Ratio(1, 4), 0.25) {
+		t.Fatal("Ratio")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.5625) != "56.2%" && Percent(0.5625) != "56.3%" {
+		t.Fatalf("Percent = %s", Percent(0.5625))
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{5}) != 0 {
+		t.Fatal("CI95 singleton")
+	}
+	ci := CI95([]float64{1, 2, 3, 4, 5})
+	if ci <= 0 || ci > 2 {
+		t.Fatalf("CI95 = %v", ci)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := float64(raw[0]), float64(raw[0])
+		for i, v := range raw {
+			x := float64(v)
+			xs[i] = x
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		m := Mean(xs)
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

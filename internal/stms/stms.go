@@ -1,0 +1,178 @@
+// Package stms implements Sampled Temporal Memory Streaming (Wenisch et
+// al., "Practical Off-chip Meta-data for Temporal Memory Streaming",
+// HPCA 2009) — the state-of-the-art temporal data prefetcher the paper
+// compares against and builds upon.
+//
+// STMS keeps two off-chip tables: a per-core History Table (HT) recording
+// the global sequence of triggering events, and an Index Table (IT) mapping
+// each observed miss address to the position of its most recent occurrence
+// in the HT. On a miss, STMS looks the miss address up in the IT (one
+// off-chip round trip), follows the pointer into the HT (a second round
+// trip), and replays the addresses that followed the previous occurrence.
+// Because the lookup matches a single address, STMS frequently picks the
+// wrong stream when two streams begin with the same miss — the limitation
+// Domino addresses.
+package stms
+
+import (
+	"fmt"
+
+	"domino/internal/dram"
+	"domino/internal/history"
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// Config parameterises STMS. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// Degree is the prefetch degree.
+	Degree int
+	// ActiveStreams is the number of streams followed concurrently (4).
+	ActiveStreams int
+	// StreamEndAfter is the stream-end detection threshold.
+	StreamEndAfter int
+	// SampleOneIn is the statistical index-update rate (8 = 12.5%).
+	SampleOneIn int
+	// HTEntries is the History Table capacity; history.Unlimited
+	// reproduces the paper's unlimited-metadata configuration.
+	HTEntries int
+	// HTRowEntries is the number of addresses per HT row (12).
+	HTRowEntries int
+	// MaxRefillRows bounds how many HT rows a single stream may fetch
+	// beyond its initial row, so a runaway stream cannot scan the whole
+	// history (stream-end detection normally stops it much earlier).
+	MaxRefillRows int
+}
+
+// DefaultConfig returns the paper's STMS configuration: unlimited metadata,
+// four active streams, 12.5% sampling.
+func DefaultConfig(degree int) Config {
+	return Config{
+		Degree:         degree,
+		ActiveStreams:  4,
+		StreamEndAfter: 4,
+		SampleOneIn:    8,
+		HTEntries:      history.Unlimited,
+		HTRowEntries:   12,
+		MaxRefillRows:  32,
+	}
+}
+
+// Prefetcher is the STMS engine. Construct with New.
+type Prefetcher struct {
+	cfg     Config
+	ht      *history.Table
+	it      map[mem.Line]uint64
+	sampler *history.Sampler
+	streams *prefetch.StreamSet
+	meter   *dram.Meter
+
+	nMiss, nMatch, nStale, nStream, nAdvance uint64
+}
+
+// DebugStats reports internal counters for calibration and tests.
+func (p *Prefetcher) DebugStats() string {
+	return fmt.Sprintf("miss=%d match=%d stale=%d streams=%d advances=%d",
+		p.nMiss, p.nMatch, p.nStale, p.nStream, p.nAdvance)
+}
+
+// New builds an STMS prefetcher. meter may be nil to skip metadata-traffic
+// accounting.
+func New(cfg Config, meter *dram.Meter) *Prefetcher {
+	if meter == nil {
+		meter = &dram.Meter{}
+	}
+	return &Prefetcher{
+		cfg:     cfg,
+		ht:      history.New(cfg.HTEntries, cfg.HTRowEntries, meter),
+		it:      make(map[mem.Line]uint64),
+		sampler: history.NewSampler(cfg.SampleOneIn),
+		streams: prefetch.NewStreamSet(cfg.ActiveStreams, cfg.StreamEndAfter),
+		meter:   meter,
+	}
+}
+
+// Name returns "stms".
+func (p *Prefetcher) Name() string { return "stms" }
+
+// Trigger implements prefetch.Prefetcher. Replaying has priority over
+// recording (Section III-B), so the lookup observes the history as it was
+// before the current event is appended.
+func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
+	out := p.replay(ev)
+	p.record(ev)
+	return out
+}
+
+func (p *Prefetcher) replay(ev prefetch.Event) []prefetch.Candidate {
+	if ev.Kind == mem.EventPrefetchHit {
+		if s := p.streams.OnPrefetchHit(ev.Line); s != nil {
+			p.nAdvance++
+			return p.issue(s, 1, 0)
+		}
+		return nil
+	}
+
+	p.nMiss++
+	p.streams.OnMiss()
+	// IT lookup: one off-chip block read whether or not it matches.
+	p.meter.RecordBlock(dram.MetadataRead)
+	ptr, ok := p.it[ev.Line]
+	if !ok {
+		return nil
+	}
+	p.nMatch++
+	queue, next, ok := p.ht.RowAfter(ptr) // second off-chip round trip
+	if !ok {
+		p.nStale++
+		delete(p.it, ev.Line) // stale pointer: the HT wrapped past it
+		return nil
+	}
+	p.nStream++
+	s := &prefetch.Stream{Queue: queue, Refill: p.refill(next)}
+	p.streams.Insert(s)
+	// The first prefetches of an STMS stream wait for two serial off-chip
+	// accesses: the IT read and the HT read (Figure 6).
+	return p.issue(s, p.cfg.Degree, 2)
+}
+
+// refill returns a Stream refill closure that walks consecutive HT rows
+// starting at seq, bounded by MaxRefillRows.
+func (p *Prefetcher) refill(seq uint64) func() []mem.Line {
+	left := p.cfg.MaxRefillRows
+	return func() []mem.Line {
+		if left <= 0 {
+			return nil
+		}
+		left--
+		entries, next := p.ht.NextRow(seq)
+		seq = next
+		return entries
+	}
+}
+
+// issue pops up to n lines from s into candidates carrying delay off-chip
+// round trips of issue latency.
+func (p *Prefetcher) issue(s *prefetch.Stream, n, delay int) []prefetch.Candidate {
+	var out []prefetch.Candidate
+	for len(out) < n {
+		line, ok := s.Next()
+		if !ok {
+			break
+		}
+		p.streams.Issued(s, line)
+		out = append(out, prefetch.Candidate{Line: line, Tag: p.Name(), Delay: delay})
+	}
+	return out
+}
+
+func (p *Prefetcher) record(ev prefetch.Event) {
+	seq := p.ht.Append(ev.Line)
+	if p.sampler.Sample() {
+		// Read-modify-write of the IT row holding this address.
+		p.meter.RecordBlock(dram.MetadataRead)
+		p.meter.RecordBlock(dram.MetadataUpdate)
+		p.it[ev.Line] = seq
+	}
+}

@@ -1,0 +1,137 @@
+package stms
+
+import (
+	"testing"
+
+	"domino/internal/dram"
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func testConfig(degree int) Config {
+	cfg := DefaultConfig(degree)
+	cfg.SampleOneIn = 1 // deterministic index for unit tests
+	return cfg
+}
+
+func miss(l mem.Line) prefetch.Event {
+	return prefetch.Event{Line: l, Kind: mem.EventMiss}
+}
+func hit(l mem.Line) prefetch.Event {
+	return prefetch.Event{Line: l, Kind: mem.EventPrefetchHit}
+}
+
+func train(p *Prefetcher, lines ...mem.Line) {
+	for _, l := range lines {
+		p.Trigger(miss(l))
+	}
+}
+
+func TestReplaysSuccessorsOfLastOccurrence(t *testing.T) {
+	p := New(testConfig(4), nil)
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8)
+	out := p.Trigger(miss(1))
+	if len(out) != 4 {
+		t.Fatalf("candidates = %+v", out)
+	}
+	want := []mem.Line{2, 3, 4, 5}
+	for i, c := range out {
+		if c.Line != want[i] {
+			t.Fatalf("candidate %d = %v, want %v", i, c.Line, want[i])
+		}
+		if c.Delay != 2 {
+			t.Fatalf("Delay = %d, want 2 (IT read then HT read, Figure 6)", c.Delay)
+		}
+	}
+}
+
+func TestSingleAddressPicksMostRecentStream(t *testing.T) {
+	p := New(testConfig(2), nil)
+	train(p, 1, 10, 11, 99, 1, 20, 21, 98)
+	// The most recent occurrence of 1 was followed by 20, 21: STMS must
+	// replay that stream (and would be wrong if the older one repeats —
+	// the aliasing weakness Domino fixes).
+	out := p.Trigger(miss(1))
+	if len(out) < 2 || out[0].Line != 20 || out[1].Line != 21 {
+		t.Fatalf("candidates = %+v", out)
+	}
+}
+
+func TestPrefetchHitAdvances(t *testing.T) {
+	p := New(testConfig(1), nil)
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8)
+	out := p.Trigger(miss(1)) // stream [2...], degree 1 → prefetch 2
+	if len(out) != 1 || out[0].Line != 2 {
+		t.Fatalf("initial = %+v", out)
+	}
+	out = p.Trigger(hit(2))
+	if len(out) != 1 || out[0].Line != 3 || out[0].Delay != 0 {
+		t.Fatalf("advance = %+v", out)
+	}
+}
+
+func TestNoMatchNoCandidates(t *testing.T) {
+	p := New(testConfig(4), nil)
+	train(p, 1, 2, 3)
+	if out := p.Trigger(miss(77)); len(out) != 0 {
+		t.Fatalf("candidates for unseen line: %+v", out)
+	}
+}
+
+func TestSampledIndexSkipsUpdates(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SampleOneIn = 1000 // nearly never sample
+	p := New(cfg, nil)
+	train(p, 1, 2, 3, 4)
+	if out := p.Trigger(miss(1)); len(out) != 0 {
+		t.Fatalf("unsampled index still matched: %+v", out)
+	}
+}
+
+func TestStaleITPointerDropped(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.HTEntries = 24
+	p := New(cfg, nil)
+	train(p, 1, 2, 3)
+	for i := 0; i < 100; i++ {
+		train(p, mem.Line(1000+i))
+	}
+	// Pointer for 1 wrapped; the lookup must fail cleanly and prune it.
+	if out := p.Trigger(miss(1)); len(out) != 0 {
+		t.Fatalf("stale pointer produced candidates: %+v", out)
+	}
+}
+
+func TestMetadataTraffic(t *testing.T) {
+	m := &dram.Meter{}
+	p := New(testConfig(1), m)
+	train(p, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13)
+	// Each miss costs one IT read; each sampled (here: every) record is
+	// an IT read+write; one full HT row (12 entries) was written.
+	if m.Transfers(dram.MetadataRead) == 0 || m.Transfers(dram.MetadataUpdate) == 0 {
+		t.Fatalf("traffic = %v", m)
+	}
+}
+
+func TestMaxRefillBoundsStream(t *testing.T) {
+	cfg := testConfig(64)
+	cfg.MaxRefillRows = 1
+	p := New(cfg, nil)
+	var seq []mem.Line
+	for i := 0; i < 100; i++ {
+		seq = append(seq, mem.Line(i))
+	}
+	train(p, seq...)
+	out := p.Trigger(miss(0))
+	// One initial row fragment (11 entries after seq 0) plus at most one
+	// refill row (12) = at most 23 candidates.
+	if len(out) > 23 {
+		t.Fatalf("stream ran away: %d candidates", len(out))
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(testConfig(1), nil).Name() != "stms" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,97 @@
+// Package stride implements a classic PC-keyed stride prefetcher
+// (Baer & Chen style) with two-bit confidence. The paper cites stride
+// prefetching as ineffective for server workloads; this implementation is
+// included as a sanity baseline for that claim and as the simplest example
+// of the prefetch.Prefetcher interface.
+package stride
+
+import (
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// Config parameterises the stride prefetcher.
+type Config struct {
+	// Degree is the prefetch degree.
+	Degree int
+	// TableEntries bounds the PC table; 0 means unlimited.
+	TableEntries int
+	// ConfidenceMax is the saturation value of the per-entry confidence
+	// counter; prefetches are issued at confidence >= ConfidenceMax-1.
+	ConfidenceMax int
+}
+
+// DefaultConfig returns a 256-entry degree-`degree` stride prefetcher.
+func DefaultConfig(degree int) Config {
+	return Config{Degree: degree, TableEntries: 256, ConfidenceMax: 3}
+}
+
+type entry struct {
+	last   mem.Line
+	stride int64
+	conf   int
+}
+
+// Prefetcher is the stride engine. Construct with New.
+type Prefetcher struct {
+	cfg   Config
+	table map[mem.Addr]*entry
+	fifo  []mem.Addr // naive FIFO replacement for the bounded table
+}
+
+// New builds a stride prefetcher.
+func New(cfg Config) *Prefetcher {
+	if cfg.ConfidenceMax <= 0 {
+		cfg.ConfidenceMax = 3
+	}
+	return &Prefetcher{cfg: cfg, table: make(map[mem.Addr]*entry)}
+}
+
+// Name returns "stride".
+func (p *Prefetcher) Name() string { return "stride" }
+
+// Trigger implements prefetch.Prefetcher.
+func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
+	e, ok := p.table[ev.PC]
+	if !ok {
+		if p.cfg.TableEntries > 0 && len(p.table) >= p.cfg.TableEntries {
+			victim := p.fifo[0]
+			p.fifo = p.fifo[1:]
+			delete(p.table, victim)
+		}
+		e = &entry{last: ev.Line}
+		p.table[ev.PC] = e
+		p.fifo = append(p.fifo, ev.PC)
+		return nil
+	}
+
+	stride := int64(ev.Line) - int64(e.last)
+	switch {
+	case stride == 0:
+		// Same line again; nothing to learn.
+	case stride == e.stride:
+		if e.conf < p.cfg.ConfidenceMax {
+			e.conf++
+		}
+	default:
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+	}
+	e.last = ev.Line
+
+	if e.stride == 0 || e.conf < p.cfg.ConfidenceMax-1 {
+		return nil
+	}
+	out := make([]prefetch.Candidate, 0, p.cfg.Degree)
+	for i := 1; i <= p.cfg.Degree; i++ {
+		next := int64(ev.Line) + e.stride*int64(i)
+		if next < 0 {
+			break
+		}
+		out = append(out, prefetch.Candidate{Line: mem.Line(next), Tag: p.Name()})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package stride
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func ev(pc mem.Addr, l mem.Line) prefetch.Event {
+	return prefetch.Event{PC: pc, Line: l, Kind: mem.EventMiss}
+}
+
+func TestLearnsStride(t *testing.T) {
+	p := New(DefaultConfig(2))
+	for i := mem.Line(0); i < 4; i++ {
+		p.Trigger(ev(7, i*3))
+	}
+	out := p.Trigger(ev(7, 12))
+	if len(out) != 2 || out[0].Line != 15 || out[1].Line != 18 {
+		t.Fatalf("candidates = %+v", out)
+	}
+}
+
+func TestNoPrefetchBeforeConfidence(t *testing.T) {
+	p := New(DefaultConfig(1))
+	p.Trigger(ev(7, 0))
+	if out := p.Trigger(ev(7, 3)); len(out) != 0 {
+		t.Fatalf("prefetched with no confidence: %+v", out)
+	}
+}
+
+func TestIrregularPatternStaysQuiet(t *testing.T) {
+	p := New(DefaultConfig(1))
+	for _, l := range []mem.Line{0, 17, 3, 91, 12, 45, 7} {
+		if out := p.Trigger(ev(7, l)); len(out) != 0 {
+			t.Fatalf("prefetched on irregular pattern: %+v", out)
+		}
+	}
+}
+
+func TestPerPCIsolation(t *testing.T) {
+	p := New(DefaultConfig(1))
+	for i := mem.Line(0); i < 4; i++ {
+		p.Trigger(ev(7, i))
+	}
+	if out := p.Trigger(ev(8, 100)); len(out) != 0 {
+		t.Fatalf("cross-PC stride leak: %+v", out)
+	}
+}
+
+func TestTableEviction(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.TableEntries = 2
+	p := New(cfg)
+	p.Trigger(ev(1, 0))
+	p.Trigger(ev(2, 0))
+	p.Trigger(ev(3, 0)) // evicts PC 1
+	// PC 1 must re-train from scratch (no stale candidates).
+	if out := p.Trigger(ev(1, 64)); len(out) != 0 {
+		t.Fatalf("evicted entry persisted: %+v", out)
+	}
+}
+
+func TestNegativeStrideStopsAtZero(t *testing.T) {
+	p := New(DefaultConfig(8))
+	for _, l := range []mem.Line{100, 70, 40, 10} {
+		p.Trigger(ev(7, l))
+	}
+	// Stride -30 from line 10: only one candidate fits above zero... none
+	// (10-30 < 0). No underflowing lines may be produced.
+	out := p.Trigger(ev(7, 10))
+	for _, c := range out {
+		if int64(c.Line) < 0 {
+			t.Fatalf("negative line: %+v", out)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig(1)).Name() != "stride" {
+		t.Fatal("name")
+	}
+}

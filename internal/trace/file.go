@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"domino/internal/mem"
+)
+
+// Binary trace file format (little endian):
+//
+//	magic   [8]byte  "DOMTRC\x01\x00"
+//	count   uint64   number of access records
+//	records count × {
+//	    pc    uint64
+//	    addr  uint64
+//	    flags uint8   bit0 = write, bit1 = dependent
+//	    gap   uint16
+//	}
+//
+// The format is deliberately simple — fixed-width records, no compression —
+// so that traces written by cmd/tracegen can be inspected with standard
+// tools and read back with no allocation surprises.
+
+var magic = [8]byte{'D', 'O', 'M', 'T', 'R', 'C', 1, 0}
+
+const recordSize = 8 + 8 + 1 + 2
+
+// ErrBadMagic reports that a file is not a Domino trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a Domino trace file)")
+
+// Write serialises t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Accesses))); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, a := range t.Accesses {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(a.PC))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(a.Addr))
+		var flags uint8
+		if a.Write {
+			flags |= 1
+		}
+		if a.Dependent {
+			flags |= 2
+		}
+		rec[16] = flags
+		binary.LittleEndian.PutUint16(rec[17:], a.Gap)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises an entire trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	fr, err := NewFileReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Accesses: make([]mem.Access, 0, fr.Count())}
+	for {
+		a, ok := fr.Next()
+		if !ok {
+			break
+		}
+		t.Append(a)
+	}
+	if err := fr.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FileReader streams accesses from a binary trace file without loading the
+// whole trace in memory.
+type FileReader struct {
+	br    *bufio.Reader
+	count uint64
+	read  uint64
+	err   error
+}
+
+// NewFileReader validates the header of r and returns a streaming reader.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	return &FileReader{br: br, count: count}, nil
+}
+
+// Count returns the number of records declared in the file header.
+func (f *FileReader) Count() uint64 { return f.count }
+
+// Err returns the first I/O or format error encountered, if any.
+func (f *FileReader) Err() error { return f.err }
+
+// Next returns the next access. It returns false at end of trace or on
+// error; check Err to distinguish.
+func (f *FileReader) Next() (mem.Access, bool) {
+	if f.err != nil || f.read >= f.count {
+		return mem.Access{}, false
+	}
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(f.br, rec[:]); err != nil {
+		f.err = fmt.Errorf("trace: record %d: %w", f.read, err)
+		return mem.Access{}, false
+	}
+	f.read++
+	return mem.Access{
+		PC:        mem.Addr(binary.LittleEndian.Uint64(rec[0:])),
+		Addr:      mem.Addr(binary.LittleEndian.Uint64(rec[8:])),
+		Write:     rec[16]&1 != 0,
+		Dependent: rec[16]&2 != 0,
+		Gap:       binary.LittleEndian.Uint16(rec[17:]),
+	}, true
+}

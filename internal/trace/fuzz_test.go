@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"domino/internal/mem"
+)
+
+// FuzzReadArbitraryBytes feeds arbitrary bytes to the trace reader: it must
+// return an error or a valid trace, never panic or hang.
+func FuzzReadArbitraryBytes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DOMTRC\x01\x00"))
+	f.Add([]byte("DOMTRC\x01\x00\x01\x00\x00\x00\x00\x00\x00\x00"))
+	var buf bytes.Buffer
+	t := &Trace{}
+	t.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
+	_ = Write(&buf, t)
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Read(bytes.NewReader(raw))
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+// FuzzRoundTrip checks Write/Read inversion over fuzzer-built records.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint16(3), true, false)
+	f.Fuzz(func(t *testing.T, pc, addr uint64, gap uint16, w, dep bool) {
+		in := &Trace{}
+		in.Append(mem.Access{PC: mem.Addr(pc), Addr: mem.Addr(addr), Gap: gap, Write: w, Dependent: dep})
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 1 || out.Accesses[0] != in.Accesses[0] {
+			t.Fatalf("round trip mismatch: %+v vs %+v", out.Accesses[0], in.Accesses[0])
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+
+	"domino/internal/mem"
+)
+
+// Summary describes the gross characteristics of a trace, as printed by
+// cmd/traceinfo.
+type Summary struct {
+	Accesses     int
+	Writes       int
+	Dependent    int
+	UniqueLines  int
+	UniquePages  int
+	UniquePCs    int
+	Instructions uint64 // total including Gap-accounted non-memory instructions
+	FootprintMB  float64
+}
+
+// Summarize scans a trace and computes its Summary.
+func Summarize(t *Trace) Summary {
+	lines := make(map[mem.Line]struct{})
+	pages := make(map[mem.Page]struct{})
+	pcs := make(map[mem.Addr]struct{})
+	var s Summary
+	for _, a := range t.Accesses {
+		s.Accesses++
+		if a.Write {
+			s.Writes++
+		}
+		if a.Dependent {
+			s.Dependent++
+		}
+		s.Instructions += uint64(a.Gap) + 1
+		lines[a.Addr.Line()] = struct{}{}
+		pages[a.Addr.Page()] = struct{}{}
+		pcs[a.PC] = struct{}{}
+	}
+	s.UniqueLines = len(lines)
+	s.UniquePages = len(pages)
+	s.UniquePCs = len(pcs)
+	s.FootprintMB = float64(s.UniqueLines) * mem.LineSize / (1 << 20)
+	return s
+}
+
+// String renders the summary as aligned text.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"accesses=%d writes=%d dependent=%d lines=%d pages=%d pcs=%d instrs=%d footprint=%.1fMB",
+		s.Accesses, s.Writes, s.Dependent, s.UniqueLines, s.UniquePages, s.UniquePCs,
+		s.Instructions, s.FootprintMB)
+}

@@ -1,0 +1,110 @@
+// Package trace defines how memory-access traces flow through the
+// simulator: a streaming Reader interface produced by workload generators or
+// trace files, an in-memory Trace for tests and analyses, and a compact
+// binary file format for persisting traces (cmd/tracegen writes it,
+// cmd/dominosim and cmd/traceinfo read it).
+package trace
+
+import (
+	"domino/internal/mem"
+)
+
+// Reader yields a sequence of memory accesses. Implementations include the
+// synthetic workload generators (internal/workload) and file readers in this
+// package. Next returns the next access and true, or a zero Access and
+// false when the trace is exhausted.
+type Reader interface {
+	Next() (mem.Access, bool)
+}
+
+// Trace is an in-memory access sequence.
+type Trace struct {
+	Accesses []mem.Access
+}
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Append adds an access to the trace.
+func (t *Trace) Append(a mem.Access) { t.Accesses = append(t.Accesses, a) }
+
+// Reader returns a Reader over the trace from the beginning. Multiple
+// concurrent readers are independent.
+func (t *Trace) Reader() Reader { return &sliceReader{t: t} }
+
+type sliceReader struct {
+	t *Trace
+	i int
+}
+
+func (r *sliceReader) Next() (mem.Access, bool) {
+	if r.i >= len(r.t.Accesses) {
+		return mem.Access{}, false
+	}
+	a := r.t.Accesses[r.i]
+	r.i++
+	return a, true
+}
+
+// Collect drains up to n accesses from r into a new Trace. n <= 0 collects
+// the entire remaining stream.
+func Collect(r Reader, n int) *Trace {
+	t := &Trace{}
+	if n > 0 {
+		t.Accesses = make([]mem.Access, 0, n)
+	}
+	for n <= 0 || len(t.Accesses) < n {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		t.Append(a)
+	}
+	return t
+}
+
+// Limit returns a Reader that yields at most n accesses from r.
+func Limit(r Reader, n int) Reader { return &limitReader{r: r, n: n} }
+
+type limitReader struct {
+	r Reader
+	n int
+}
+
+func (l *limitReader) Next() (mem.Access, bool) {
+	if l.n <= 0 {
+		return mem.Access{}, false
+	}
+	l.n--
+	return l.r.Next()
+}
+
+// Func adapts a function to the Reader interface.
+type Func func() (mem.Access, bool)
+
+// Next calls f.
+func (f Func) Next() (mem.Access, bool) { return f() }
+
+// Lines extracts the cache-line sequence of a trace; analysis passes
+// (Sequitur, lookup studies) operate on line sequences.
+func Lines(t *Trace) []mem.Line {
+	out := make([]mem.Line, len(t.Accesses))
+	for i, a := range t.Accesses {
+		out[i] = a.Addr.Line()
+	}
+	return out
+}
+
+// Concat returns a Reader that yields all accesses of each reader in turn.
+func Concat(rs ...Reader) Reader {
+	return Func(func() (mem.Access, bool) {
+		for len(rs) > 0 {
+			a, ok := rs[0].Next()
+			if ok {
+				return a, true
+			}
+			rs = rs[1:]
+		}
+		return mem.Access{}, false
+	})
+}

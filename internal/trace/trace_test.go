@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"domino/internal/mem"
+)
+
+func sample(n int) *Trace {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Append(mem.Access{
+			PC:        mem.Addr(0x400000 + i*4),
+			Addr:      mem.Addr(i * 64),
+			Write:     i%3 == 0,
+			Dependent: i%5 == 0,
+			Gap:       uint16(i % 100),
+		})
+	}
+	return t
+}
+
+func TestReaderYieldsAll(t *testing.T) {
+	tr := sample(10)
+	r := tr.Reader()
+	for i := 0; i < 10; i++ {
+		a, ok := r.Next()
+		if !ok || a != tr.Accesses[i] {
+			t.Fatalf("access %d mismatch", i)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader did not end")
+	}
+}
+
+func TestIndependentReaders(t *testing.T) {
+	tr := sample(5)
+	r1, r2 := tr.Reader(), tr.Reader()
+	r1.Next()
+	r1.Next()
+	a, _ := r2.Next()
+	if a != tr.Accesses[0] {
+		t.Fatal("readers share state")
+	}
+}
+
+func TestCollectAndLimit(t *testing.T) {
+	tr := sample(20)
+	got := Collect(Limit(tr.Reader(), 7), 0)
+	if got.Len() != 7 {
+		t.Fatalf("Limit collected %d", got.Len())
+	}
+	got = Collect(tr.Reader(), 5)
+	if got.Len() != 5 {
+		t.Fatalf("Collect(n=5) got %d", got.Len())
+	}
+	got = Collect(tr.Reader(), -1)
+	if got.Len() != 20 {
+		t.Fatalf("Collect(all) got %d", got.Len())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := sample(3), sample(2)
+	got := Collect(Concat(a.Reader(), b.Reader()), 0)
+	if got.Len() != 5 {
+		t.Fatalf("Concat len = %d", got.Len())
+	}
+	if got.Accesses[3] != b.Accesses[0] {
+		t.Fatal("Concat order wrong")
+	}
+}
+
+func TestLines(t *testing.T) {
+	tr := sample(4)
+	lines := Lines(tr)
+	for i, l := range lines {
+		if l != tr.Accesses[i].Addr.Line() {
+			t.Fatalf("line %d mismatch", i)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := sample(100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Accesses, tr.Accesses) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestFileRoundTripQuick(t *testing.T) {
+	f := func(pcs []uint64, addrs []uint64, flags []bool) bool {
+		tr := &Trace{}
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(flags) < n {
+			n = len(flags)
+		}
+		for i := 0; i < n; i++ {
+			tr.Append(mem.Access{
+				PC: mem.Addr(pcs[i]), Addr: mem.Addr(addrs[i]),
+				Write: flags[i], Dependent: !flags[i], Gap: uint16(pcs[i]),
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Accesses, tr.Accesses) ||
+			(len(got.Accesses) == 0 && len(tr.Accesses) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACEFILE_____"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	tr := sample(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-5]
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected error on truncated file")
+	}
+}
+
+func TestFileReaderStreaming(t *testing.T) {
+	tr := sample(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Count() != 10 {
+		t.Fatalf("Count = %d", fr.Count())
+	}
+	n := 0
+	for {
+		if _, ok := fr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 || fr.Err() != nil {
+		t.Fatalf("streamed %d err=%v", n, fr.Err())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(mem.Access{PC: 1, Addr: 0, Gap: 9})
+	tr.Append(mem.Access{PC: 1, Addr: 64, Write: true})
+	tr.Append(mem.Access{PC: 2, Addr: 0, Dependent: true})
+	s := Summarize(tr)
+	if s.Accesses != 3 || s.Writes != 1 || s.Dependent != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.UniqueLines != 2 || s.UniquePCs != 2 || s.UniquePages != 1 {
+		t.Fatalf("uniques = %+v", s)
+	}
+	if s.Instructions != 9+1+1+1 {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,238 @@
+// Package vldp implements the Variable Length Delta Prefetcher (Shevgoor
+// et al., "Efficiently Prefetching Complex Address Patterns", MICRO 2015),
+// the spatial baseline of the paper's evaluation. VLDP predicts the next
+// cache line *within a page* from the sequence of recent deltas (offset
+// differences) observed in that page, preferring predictions keyed by
+// longer delta histories.
+//
+// Per Section IV-D of the Domino paper, the evaluated configuration has a
+// 16-entry Delta History Buffer (DHB), a 64-entry Offset Prediction Table
+// (OPT), and three infinite-size Delta Prediction Tables (DPTs) keyed by
+// the last one, two and three deltas. With degree > 1, VLDP feeds its own
+// predictions back into the tables to predict further ahead, which the
+// paper notes is inaccurate for server workloads.
+package vldp
+
+import (
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// Config parameterises VLDP.
+type Config struct {
+	// Degree is the prefetch degree.
+	Degree int
+	// DHBEntries is the number of pages tracked concurrently (16).
+	DHBEntries int
+	// OPTEntries is the offset-prediction table size (64, one entry per
+	// possible first offset of a 64-line page).
+	OPTEntries int
+	// MaxHistory is the number of DPT levels (3).
+	MaxHistory int
+}
+
+// DefaultConfig returns the paper's VLDP configuration.
+func DefaultConfig(degree int) Config {
+	return Config{Degree: degree, DHBEntries: 16, OPTEntries: mem.LinesPerPage, MaxHistory: 3}
+}
+
+// dhbEntry tracks the delta history of one page.
+type dhbEntry struct {
+	page        mem.Page
+	lastOffset  int
+	deltas      []int // most recent first, at most MaxHistory
+	firstOffset int
+	sawSecond   bool
+}
+
+// predEntry is a DPT/OPT prediction with a one-bit accuracy state: a
+// mispredicting entry first loses its accuracy bit, then is replaced on the
+// next mismatch (the MICRO'15 update rule).
+type predEntry struct {
+	delta int
+	acc   bool
+}
+
+// dptKey encodes up to three deltas; deltas are never zero, so unused
+// positions are unambiguously zero.
+type dptKey [3]int16
+
+// Prefetcher is the VLDP engine. Construct with New.
+type Prefetcher struct {
+	cfg Config
+	dhb []*dhbEntry // MRU order
+	opt []predEntry
+	ovd []bool // opt entry valid
+	dpt []map[dptKey]*predEntry
+}
+
+// New builds a VLDP prefetcher.
+func New(cfg Config) *Prefetcher {
+	if cfg.MaxHistory <= 0 || cfg.MaxHistory > 3 {
+		cfg.MaxHistory = 3
+	}
+	if cfg.OPTEntries <= 0 {
+		cfg.OPTEntries = mem.LinesPerPage
+	}
+	p := &Prefetcher{
+		cfg: cfg,
+		opt: make([]predEntry, cfg.OPTEntries),
+		ovd: make([]bool, cfg.OPTEntries),
+		dpt: make([]map[dptKey]*predEntry, cfg.MaxHistory),
+	}
+	for i := range p.dpt {
+		p.dpt[i] = make(map[dptKey]*predEntry)
+	}
+	return p
+}
+
+// Name returns "vldp".
+func (p *Prefetcher) Name() string { return "vldp" }
+
+// Trigger implements prefetch.Prefetcher.
+func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
+	page := ev.Line.Page()
+	off := ev.Line.PageOffset()
+
+	e := p.lookupDHB(page)
+	if e == nil {
+		e = p.allocDHB(page, off)
+		// First access to the page: only the OPT can predict.
+		return p.predictFromOPT(page, off)
+	}
+
+	delta := off - e.lastOffset
+	if delta == 0 {
+		return nil
+	}
+	// Train the OPT with the page's first-to-second delta.
+	if !e.sawSecond {
+		e.sawSecond = true
+		p.trainOPT(e.firstOffset, delta)
+	}
+	// Train the DPTs: previous histories of each length predict delta.
+	p.trainDPTs(e.deltas, delta)
+	// Push the new delta and predict ahead, chaining predictions.
+	e.deltas = pushDelta(e.deltas, delta, p.cfg.MaxHistory)
+	e.lastOffset = off
+
+	hist := append([]int(nil), e.deltas...)
+	cur := off
+	var out []prefetch.Candidate
+	for len(out) < p.cfg.Degree {
+		d, ok := p.predictFromDPTs(hist)
+		if !ok {
+			break
+		}
+		cur += d
+		if cur < 0 || cur >= mem.LinesPerPage {
+			break
+		}
+		out = append(out, prefetch.Candidate{Line: page.LineAt(cur), Tag: p.Name()})
+		hist = pushDelta(hist, d, p.cfg.MaxHistory)
+	}
+	return out
+}
+
+func pushDelta(hist []int, d, max int) []int {
+	hist = append([]int{d}, hist...)
+	if len(hist) > max {
+		hist = hist[:max]
+	}
+	return hist
+}
+
+func (p *Prefetcher) lookupDHB(page mem.Page) *dhbEntry {
+	for i, e := range p.dhb {
+		if e.page == page {
+			copy(p.dhb[1:i+1], p.dhb[:i])
+			p.dhb[0] = e
+			return e
+		}
+	}
+	return nil
+}
+
+func (p *Prefetcher) allocDHB(page mem.Page, off int) *dhbEntry {
+	e := &dhbEntry{page: page, lastOffset: off, firstOffset: off}
+	if len(p.dhb) >= p.cfg.DHBEntries {
+		p.dhb = p.dhb[:p.cfg.DHBEntries-1]
+	}
+	p.dhb = append([]*dhbEntry{e}, p.dhb...)
+	return e
+}
+
+func (p *Prefetcher) predictFromOPT(page mem.Page, off int) []prefetch.Candidate {
+	if off >= len(p.opt) || !p.ovd[off] || !p.opt[off].acc {
+		return nil
+	}
+	target := off + p.opt[off].delta
+	if target < 0 || target >= mem.LinesPerPage {
+		return nil
+	}
+	return []prefetch.Candidate{{Line: page.LineAt(target), Tag: p.Name()}}
+}
+
+func (p *Prefetcher) trainOPT(firstOff, delta int) {
+	if firstOff >= len(p.opt) {
+		return
+	}
+	e := &p.opt[firstOff]
+	switch {
+	case !p.ovd[firstOff]:
+		p.ovd[firstOff] = true
+		*e = predEntry{delta: delta, acc: true}
+	case e.delta == delta:
+		e.acc = true
+	case e.acc:
+		e.acc = false
+	default:
+		*e = predEntry{delta: delta, acc: true}
+	}
+}
+
+func keyOf(hist []int, n int) dptKey {
+	var k dptKey
+	for i := 0; i < n; i++ {
+		k[i] = int16(hist[i])
+	}
+	return k
+}
+
+func (p *Prefetcher) trainDPTs(prevHist []int, delta int) {
+	for n := 1; n <= len(prevHist) && n <= p.cfg.MaxHistory; n++ {
+		k := keyOf(prevHist, n)
+		tbl := p.dpt[n-1]
+		e, ok := tbl[k]
+		switch {
+		case !ok:
+			tbl[k] = &predEntry{delta: delta, acc: true}
+		case e.delta == delta:
+			e.acc = true
+		case e.acc:
+			e.acc = false
+		default:
+			e.delta = delta
+			e.acc = true
+		}
+	}
+}
+
+// predictFromDPTs consults the DPTs from the longest available history
+// down, returning the first match (longer histories take precedence even
+// over more accurate shorter ones, per MICRO'15).
+func (p *Prefetcher) predictFromDPTs(hist []int) (int, bool) {
+	for n := min(len(hist), p.cfg.MaxHistory); n >= 1; n-- {
+		if e, ok := p.dpt[n-1][keyOf(hist, n)]; ok {
+			return e.delta, true
+		}
+	}
+	return 0, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package vldp
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+func at(page mem.Page, off int) prefetch.Event {
+	return prefetch.Event{Line: page.LineAt(off), Kind: mem.EventMiss}
+}
+
+func TestLearnsConstantStride(t *testing.T) {
+	p := New(DefaultConfig(1))
+	// Train a +2 stride in one page.
+	pg := mem.Page(10)
+	for _, off := range []int{0, 2, 4, 6} {
+		p.Trigger(at(pg, off))
+	}
+	// A new page with the same delta history must predict +2.
+	pg2 := mem.Page(11)
+	p.Trigger(at(pg2, 10))
+	out := p.Trigger(at(pg2, 12)) // delta +2 observed; DPT1 predicts +2
+	if len(out) != 1 || out[0].Line != pg2.LineAt(14) {
+		t.Fatalf("candidates = %+v, want offset 14", out)
+	}
+}
+
+func TestLongerHistoryWins(t *testing.T) {
+	p := New(DefaultConfig(1))
+	pg := mem.Page(1)
+	// Pattern: +1, +2, +1, +2 ... after history [2,1] predict +1; after
+	// bare [2] (DPT1) the last value trained could differ. Train:
+	offs := []int{0, 1, 3, 4, 6, 7, 9}
+	for _, o := range offs {
+		p.Trigger(at(pg, o))
+	}
+	// Fresh page reproducing the alternation: history builds to [2,1]
+	// (most recent first [2,1] after 10,11,13): predict +1 → 14.
+	pg2 := mem.Page(2)
+	p.Trigger(at(pg2, 10))
+	p.Trigger(at(pg2, 11))        // delta 1
+	out := p.Trigger(at(pg2, 13)) // delta 2; history [2,1] → predict +1
+	if len(out) != 1 || out[0].Line != pg2.LineAt(14) {
+		t.Fatalf("candidates = %+v, want offset 14", out)
+	}
+}
+
+func TestDegreeChainsPredictions(t *testing.T) {
+	p := New(DefaultConfig(4))
+	pg := mem.Page(1)
+	for _, o := range []int{0, 1, 2, 3, 4, 5} {
+		p.Trigger(at(pg, o))
+	}
+	pg2 := mem.Page(2)
+	p.Trigger(at(pg2, 8))
+	out := p.Trigger(at(pg2, 9))
+	if len(out) != 4 {
+		t.Fatalf("chained candidates = %+v", out)
+	}
+	for i, c := range out {
+		if c.Line != pg2.LineAt(10+i) {
+			t.Fatalf("candidate %d = %v, want offset %d", i, c.Line, 10+i)
+		}
+	}
+}
+
+func TestStopsAtPageBoundary(t *testing.T) {
+	p := New(DefaultConfig(4))
+	pg := mem.Page(1)
+	for _, o := range []int{58, 59, 60, 61} {
+		p.Trigger(at(pg, o))
+	}
+	pg2 := mem.Page(2)
+	p.Trigger(at(pg2, 61))
+	out := p.Trigger(at(pg2, 62))
+	// Only offset 63 fits in the page.
+	if len(out) != 1 || out[0].Line != pg2.LineAt(63) {
+		t.Fatalf("candidates = %+v", out)
+	}
+}
+
+func TestOPTPredictsOnFirstAccess(t *testing.T) {
+	p := New(DefaultConfig(1))
+	// Teach the OPT: pages whose first access is offset 5 continue at +3.
+	for i := 0; i < 3; i++ {
+		pg := mem.Page(10 + i)
+		p.Trigger(at(pg, 5))
+		p.Trigger(at(pg, 8))
+	}
+	// First access to a fresh page at offset 5 must prefetch offset 8.
+	out := p.Trigger(at(mem.Page(99), 5))
+	if len(out) != 1 || out[0].Line != mem.Page(99).LineAt(8) {
+		t.Fatalf("OPT candidates = %+v", out)
+	}
+}
+
+func TestOPTAccuracyBitSuppressesFlaky(t *testing.T) {
+	p := New(DefaultConfig(1))
+	// First page: offset 5 then +3 (sets OPT[5]=+3, accurate).
+	p.Trigger(at(mem.Page(1), 5))
+	p.Trigger(at(mem.Page(1), 8))
+	// Second page: offset 5 then +1 (mismatch: accuracy bit cleared).
+	p.Trigger(at(mem.Page(2), 5))
+	p.Trigger(at(mem.Page(2), 6))
+	// Third page: OPT must stay silent now.
+	if out := p.Trigger(at(mem.Page(3), 5)); len(out) != 0 {
+		t.Fatalf("inaccurate OPT still predicted: %+v", out)
+	}
+}
+
+func TestDHBEvictionForgetsPages(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.DHBEntries = 2
+	p := New(cfg)
+	p.Trigger(at(mem.Page(1), 0))
+	p.Trigger(at(mem.Page(2), 0))
+	p.Trigger(at(mem.Page(3), 0)) // evicts page 1
+	// Returning to page 1 is a "first access" again: no delta computed
+	// against the stale lastOffset.
+	out := p.Trigger(at(mem.Page(1), 5))
+	for _, c := range out {
+		if c.Line.Page() != mem.Page(1) {
+			t.Fatalf("prediction crossed pages: %+v", out)
+		}
+	}
+}
+
+func TestSameOffsetNoDelta(t *testing.T) {
+	p := New(DefaultConfig(1))
+	pg := mem.Page(1)
+	p.Trigger(at(pg, 3))
+	if out := p.Trigger(at(pg, 3)); len(out) != 0 {
+		t.Fatalf("zero delta produced candidates: %+v", out)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(DefaultConfig(1)).Name() != "vldp" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names) != 9 {
+		t.Fatalf("Names has %d workloads, want 9 (Table II)", len(Names))
+	}
+	for _, n := range Names {
+		p := ByName(n)
+		if p.Name != n {
+			t.Errorf("ByName(%q).Name = %q", n, p.Name)
+		}
+		if p.Seed == 0 {
+			t.Errorf("%s has zero seed", n)
+		}
+	}
+	if len(All()) != 9 {
+		t.Fatal("All() incomplete")
+	}
+}
+
+func TestByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ByName("no such workload")
+}
+
+func TestDeterminism(t *testing.T) {
+	p := ByName("OLTP")
+	a := trace.Collect(trace.Limit(New(p), 5000), 0)
+	b := trace.Collect(trace.Limit(New(p), 5000), 0)
+	if !reflect.DeepEqual(a.Accesses, b.Accesses) {
+		t.Fatal("generator is not deterministic for equal Params")
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := trace.Collect(trace.Limit(New(ByName("Web Apache")), 2000), 0)
+	b := trace.Collect(trace.Limit(New(ByName("Web Zeus")), 2000), 0)
+	if reflect.DeepEqual(a.Accesses, b.Accesses) {
+		t.Fatal("different workloads produced identical traces")
+	}
+}
+
+func TestStreamNeverEnds(t *testing.T) {
+	g := New(ByName("Data Serving"))
+	for i := 0; i < 100000; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("generator ended")
+		}
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	g := New(ByName("SAT Solver"))
+	tr := trace.Collect(trace.Limit(g, 100000), 0)
+	for _, a := range tr.Accesses {
+		l := a.Addr.Line()
+		switch {
+		case l < hotRegion: // document region
+		case l >= hotRegion && l < noiseRegion:
+		case l >= noiseRegion && l < spatialRegion:
+		case l >= spatialRegion:
+		default:
+			t.Fatalf("line %v outside any region", l)
+		}
+	}
+}
+
+func TestNoiseLinesUnique(t *testing.T) {
+	g := New(ByName("OLTP"))
+	tr := trace.Collect(trace.Limit(g, 200000), 0)
+	seen := map[mem.Line]int{}
+	for _, a := range tr.Accesses {
+		l := a.Addr.Line()
+		if l >= noiseRegion && l < spatialRegion {
+			seen[l]++
+		}
+	}
+	for l, n := range seen {
+		if n > 1 {
+			t.Fatalf("noise line %v reused %d times", l, n)
+		}
+	}
+}
+
+func TestRepetitionExists(t *testing.T) {
+	// The whole premise: the miss stream must contain repeated document
+	// content. Count lines seen 3+ times in the document region.
+	g := New(ByName("Web Search"))
+	tr := trace.Collect(trace.Limit(g, 300000), 0)
+	seen := map[mem.Line]int{}
+	for _, a := range tr.Accesses {
+		l := a.Addr.Line()
+		if l < hotRegion {
+			seen[l]++
+		}
+	}
+	repeated := 0
+	for _, n := range seen {
+		if n >= 3 {
+			repeated++
+		}
+	}
+	if repeated < 1000 {
+		t.Fatalf("only %d lines repeat 3+ times; no temporal structure", repeated)
+	}
+}
+
+func TestDependentFlagOnlyInChains(t *testing.T) {
+	p := ByName("Media Streaming") // ChainFrac 0.1: most docs independent
+	tr := trace.Collect(trace.Limit(New(p), 100000), 0)
+	dep := 0
+	for _, a := range tr.Accesses {
+		if a.Dependent {
+			dep++
+		}
+	}
+	frac := float64(dep) / float64(len(tr.Accesses))
+	if frac > 0.3 {
+		t.Fatalf("dependent fraction %.2f too high for ChainFrac 0.1", frac)
+	}
+}
+
+func TestGapsWithinJitter(t *testing.T) {
+	p := ByName("OLTP")
+	tr := trace.Collect(trace.Limit(New(p), 50000), 0)
+	for _, a := range tr.Accesses {
+		if int(a.Gap) > p.GapMean+p.GapJitter {
+			t.Fatalf("gap %d exceeds mean+jitter", a.Gap)
+		}
+	}
+}
+
+func TestSpatialRunsAreStrided(t *testing.T) {
+	p := ByName("Media Streaming")
+	tr := trace.Collect(trace.Limit(New(p), 200000), 0)
+	// Within the spatial region, consecutive accesses in the same page
+	// must differ by the configured stride.
+	var prev mem.Line
+	havePrev := false
+	checked := 0
+	for _, a := range tr.Accesses {
+		l := a.Addr.Line()
+		if l < spatialRegion {
+			havePrev = false
+			continue
+		}
+		if havePrev && l.Page() == prev.Page() {
+			delta := int(l) - int(prev)
+			if delta != p.SpatialStride {
+				t.Fatalf("spatial delta %d, want %d", delta, p.SpatialStride)
+			}
+			checked++
+		}
+		prev, havePrev = l, true
+	}
+	if checked == 0 {
+		t.Fatal("no spatial runs found")
+	}
+}
+
+func TestDocLenBounds(t *testing.T) {
+	p := ByName("MapReduce-W")
+	g := New(p)
+	for _, d := range g.docs {
+		if len(d.lines) < 2 || len(d.lines) > p.DocLenMax {
+			t.Fatalf("doc length %d outside [2, %d]", len(d.lines), p.DocLenMax)
+		}
+	}
+}
+
+func TestAliasGroupsShareHeads(t *testing.T) {
+	p := ByName("OLTP")
+	g := New(p)
+	size := p.AliasGroupSize
+	shared := 0
+	aliased := int(p.AliasFrac * float64(p.Documents))
+	for start := 0; start+size <= aliased; start += size {
+		head := g.docs[start].lines[0]
+		for j := start + 1; j < start+size; j++ {
+			if g.docs[j].lines[0] == head {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no alias groups share heads")
+	}
+}
+
+// TestCalibrationStatistics pins coarse statistical properties of every
+// workload's miss structure, so parameter drift that would invalidate the
+// experiment shapes (EXPERIMENTS.md) fails here first. The bounds are
+// deliberately loose.
+func TestCalibrationStatistics(t *testing.T) {
+	for _, name := range Names {
+		p := ByName(name)
+		tr := trace.Collect(trace.Limit(New(p), 150_000), 0)
+		s := trace.Summarize(tr)
+		// Footprint must dwarf the 64 KB L1 (vast-dataset property).
+		if s.FootprintMB < 1 {
+			t.Errorf("%s: footprint %.1f MB too small", name, s.FootprintMB)
+		}
+		// Miss-dominated but not degenerate: unique lines well below
+		// accesses (repetition exists) and above the pool floor.
+		if s.UniqueLines < p.WorkingSetLines/2 {
+			t.Errorf("%s: only %d unique lines for a %d-line pool",
+				name, s.UniqueLines, p.WorkingSetLines)
+		}
+		// Dependent fraction tracks ChainFrac loosely.
+		depFrac := float64(s.Dependent) / float64(s.Accesses)
+		if p.ChainFrac > 0.3 && depFrac < 0.05 {
+			t.Errorf("%s: dependent fraction %.2f despite ChainFrac %.2f",
+				name, depFrac, p.ChainFrac)
+		}
+		// Stores present (WriteFrac).
+		if p.WriteFrac > 0 && s.Writes == 0 {
+			t.Errorf("%s: no stores generated", name)
+		}
+	}
+}
