@@ -8,6 +8,7 @@ package domino
 // full-scale numbers.
 
 import (
+	"runtime"
 	"testing"
 
 	"domino/internal/core"
@@ -19,7 +20,10 @@ import (
 )
 
 // benchOptions is the scale used by the figure benches: large enough for
-// stable shapes, small enough to keep the whole suite to minutes.
+// stable shapes, small enough to keep the whole suite to minutes. Figure
+// benches run through the parallel execution engine at its default worker
+// count (one per CPU); BenchmarkEngineSerial/Parallel below isolate the
+// engine's own speedup.
 func benchOptions() experiments.Options {
 	return experiments.Options{Accesses: 300_000, Warmup: 150_000, Scale: 64}
 }
@@ -261,6 +265,33 @@ func BenchmarkAblationNoStreamEnd(b *testing.B) {
 			return nil
 		})
 		b.ReportMetric(cov*100, "cov_%")
+	}
+}
+
+// --- Engine benches ---
+
+// The Serial/Parallel pair measures the execution engine's wall-clock win
+// on the same grid (Fig. 13 over three workloads); their reported metrics
+// must be identical — only the time per op may differ.
+
+func BenchmarkEngineSerial(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	o.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		r := experiments.Comparison(o, 4, false)
+		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
+	}
+}
+
+func BenchmarkEngineParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = benchWorkloads()
+	o.Parallelism = runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(o.Parallelism), "workers")
+	for i := 0; i < b.N; i++ {
+		r := experiments.Comparison(o, 4, false)
+		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 	}
 }
 

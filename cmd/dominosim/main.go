@@ -5,6 +5,12 @@
 //	dominosim -exp fig11
 //	dominosim -exp fig14 -accesses 2000000 -warmup 1000000 -scale 16
 //
+// Simulation cells within an experiment run in parallel, one job per CPU
+// by default; -j bounds the worker count (-j 1 is fully serial) without
+// changing a byte of the output:
+//
+//	dominosim -exp fig14 -j 8
+//
 // Evaluate one prefetcher on one workload:
 //
 //	dominosim -eval -workload OLTP -prefetcher domino -degree 4
@@ -41,13 +47,14 @@ func main() {
 		accesses    = flag.Int("accesses", 2_000_000, "trace length per workload, including warmup")
 		warmup      = flag.Int("warmup", 1_000_000, "warmup accesses excluded from measurement")
 		scale       = flag.Int("scale", 16, "metadata-table scale divisor (paper size / scale)")
+		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = one per CPU, 1 = serial); output is identical at every setting")
 		traceFile   = flag.String("trace", "", "with -eval: evaluate on a binary trace file instead of a synthetic workload")
 		samples     = flag.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
 		format      = flag.String("format", "table", "with -exp: output format (table, csv, bars)")
 	)
 	flag.Parse()
 
-	o := domino.Options{Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale}
+	o := domino.Options{Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale, Parallelism: *jobs}
 
 	switch {
 	case *list:

@@ -74,6 +74,11 @@ type Options struct {
 	// Scale divides the paper-size metadata tables to match shortened
 	// traces (DESIGN.md §3).
 	Scale int
+	// Parallelism bounds the worker pool experiments use to run their
+	// independent simulation cells (cmd/dominosim's -j flag). 0 means one
+	// worker per usable CPU; 1 forces a serial run. Output is
+	// byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultOptions is laptop scale: 2 M accesses, half warmup, tables /16,
@@ -109,10 +114,11 @@ func (o Options) normalised() Options {
 
 func (o Options) experimentOptions(workloads ...string) experiments.Options {
 	return experiments.Options{
-		Accesses:  o.Accesses,
-		Warmup:    o.Warmup,
-		Scale:     o.Scale,
-		Workloads: workloads,
+		Accesses:    o.Accesses,
+		Warmup:      o.Warmup,
+		Scale:       o.Scale,
+		Workloads:   workloads,
+		Parallelism: o.Parallelism,
 	}
 }
 
@@ -229,13 +235,7 @@ func MeasureSpeedup(workloadName string, kind Kind, o Options) (SpeedupReport, e
 	if err := validKind(kind); err != nil {
 		return SpeedupReport{}, err
 	}
-	mc := config.DefaultMachine()
-	if o.Scale > 4 {
-		mc.L2SizeBytes /= o.Scale / 4
-		if mc.L2SizeBytes < mc.L1DSizeBytes*2 {
-			mc.L2SizeBytes = mc.L1DSizeBytes * 2
-		}
-	}
+	mc := config.DefaultMachine().ScaleLLCForTrace(o.Scale)
 	base := timing.Run(trace.Limit(workload.New(wp), o.Accesses), mc, prefetch.Null{}, nil, o.Warmup)
 	meter := &dram.Meter{}
 	p := experiments.Build(string(kind), o.Degree, meter, o.Scale)

@@ -27,6 +27,30 @@ func TestMemLatencyCycles(t *testing.T) {
 	}
 }
 
+func TestScaleLLCForTrace(t *testing.T) {
+	m := DefaultMachine()
+	// At or below the paper's scale the machine is untouched.
+	for _, s := range []int{0, 1, 4} {
+		if got := m.ScaleLLCForTrace(s); got != m {
+			t.Fatalf("scale %d altered the machine: %+v", s, got)
+		}
+	}
+	// Scale 16 shrinks the 4 MB LLC by 16/4 = 4× to 1 MB.
+	if got := m.ScaleLLCForTrace(16).L2SizeBytes; got != 1<<20 {
+		t.Fatalf("scale 16 LLC = %d, want 1 MB", got)
+	}
+	// Extreme scales clamp to twice the L1-D, never below.
+	if got := m.ScaleLLCForTrace(1 << 20).L2SizeBytes; got != m.L1DSizeBytes*2 {
+		t.Fatalf("clamped LLC = %d, want %d", got, m.L1DSizeBytes*2)
+	}
+	// Only the LLC changes; everything else is a field-for-field copy.
+	scaled := m.ScaleLLCForTrace(16)
+	scaled.L2SizeBytes = m.L2SizeBytes
+	if scaled != m {
+		t.Fatal("ScaleLLCForTrace changed a field other than the LLC size")
+	}
+}
+
 func TestDefaultPrefetch(t *testing.T) {
 	p := DefaultPrefetch()
 	if p.Degree != 4 || p.BufferBlocks != 32 || p.ActiveStreams != 4 || p.SampleOneIn != 8 {

@@ -59,20 +59,28 @@ func Ablations(o Options, degree int) *AblationResult {
 	res := &AblationResult{
 		Coverage: &Grid{Title: "Domino ablations: coverage by variant (DESIGN.md §4)", Unit: "%"},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, v := range AblationVariants() {
-			cfg := core.ScaledConfig(degree, o.Scale)
-			post := v.Mutate(&cfg)
-			meter := &dram.Meter{}
-			p := core.New(cfg, meter)
-			if post != nil {
-				post(p)
-			}
-			ec := prefetch.DefaultEvalConfig()
-			ec.Meter = meter
-			r := prefetch.RunWarm(o.trace(wp), p, ec, o.Warmup)
-			res.Coverage.Add(wp.Name, v.Name, r.Coverage())
+			jobs = append(jobs, Job{
+				Run: func() any {
+					cfg := core.ScaledConfig(degree, o.Scale)
+					post := v.Mutate(&cfg)
+					meter := &dram.Meter{}
+					p := core.New(cfg, meter)
+					if post != nil {
+						post(p)
+					}
+					ec := prefetch.DefaultEvalConfig()
+					ec.Meter = meter
+					return prefetch.RunWarm(o.trace(wp), p, ec, o.Warmup)
+				},
+				Collect: func(r any) {
+					res.Coverage.Add(wp.Name, v.Name, r.(*prefetch.Result).Coverage())
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	return res
 }

@@ -28,30 +28,39 @@ func Bandwidth(o Options, degree int) *BandwidthResult {
 		PerWorkload: &Grid{Title: "Fig. 15: total off-chip traffic overhead per workload", Unit: "%"},
 	}
 	sums := map[string]map[dram.Class]float64{}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, name := range prefetchers {
-			meter := &dram.Meter{}
-			cfg := prefetch.DefaultEvalConfig()
-			cfg.Meter = meter
-			p := Build(name, degree, meter, o.Scale)
-			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
-			// Baseline traffic: every baseline miss moves one block.
-			// (Covered misses move a block as useful prefetch traffic
-			// instead of demand traffic, so the replacement is 1:1.)
-			base := float64(r.Misses) * 64
-			if base == 0 {
-				continue
-			}
-			if sums[name] == nil {
-				sums[name] = map[dram.Class]float64{}
-			}
-			for _, c := range []dram.Class{dram.PrefetchWrong, dram.MetadataUpdate, dram.MetadataRead} {
-				sums[name][c] += float64(meter.Bytes(c)) / base
-			}
-			res.PerWorkload.Add(wp.Name, name,
-				float64(meter.OverheadBytes())/base)
+			jobs = append(jobs, Job{
+				Run: func() any {
+					meter := &dram.Meter{}
+					cfg := prefetch.DefaultEvalConfig()
+					cfg.Meter = meter
+					p := Build(name, degree, meter, o.Scale)
+					return prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+				},
+				Collect: func(v any) {
+					r := v.(*prefetch.Result)
+					// Baseline traffic: every baseline miss moves one block.
+					// (Covered misses move a block as useful prefetch traffic
+					// instead of demand traffic, so the replacement is 1:1.)
+					base := float64(r.Misses) * 64
+					if base == 0 {
+						return
+					}
+					if sums[name] == nil {
+						sums[name] = map[dram.Class]float64{}
+					}
+					for _, c := range []dram.Class{dram.PrefetchWrong, dram.MetadataUpdate, dram.MetadataRead} {
+						sums[name][c] += float64(r.Meter.Bytes(c)) / base
+					}
+					res.PerWorkload.Add(wp.Name, name,
+						float64(r.Meter.OverheadBytes())/base)
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	n := float64(len(o.workloads()))
 	for _, name := range prefetchers {
 		res.Overhead.Add(name, "wrong-prefetch", sums[name][dram.PrefetchWrong]/n)

@@ -19,7 +19,9 @@ type ComparisonResult struct {
 
 // Comparison reproduces Figure 11 (degree 1) and Figure 13 (degree 4):
 // every prefetcher's coverage and overpredictions on every workload, with
-// Sequitur's opportunity included at degree 1 as in the paper.
+// Sequitur's opportunity included at degree 1 as in the paper. Each
+// (workload, prefetcher) evaluation — and each workload's Sequitur
+// analysis — is an independent engine job.
 func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 	res := &ComparisonResult{
 		Degree: degree,
@@ -32,21 +34,35 @@ func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 			Unit:  "%",
 		},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, name := range PrefetcherNames {
-			meter := &dram.Meter{}
-			cfg := prefetch.DefaultEvalConfig()
-			cfg.Meter = meter
-			p := Build(name, degree, meter, o.Scale)
-			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
-			res.Coverage.Add(wp.Name, name, r.Coverage())
-			res.Overpredictions.Add(wp.Name, name, r.Overprediction())
+			jobs = append(jobs, Job{
+				Run: func() any {
+					meter := &dram.Meter{}
+					cfg := prefetch.DefaultEvalConfig()
+					cfg.Meter = meter
+					p := Build(name, degree, meter, o.Scale)
+					return prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+				},
+				Collect: func(v any) {
+					r := v.(*prefetch.Result)
+					res.Coverage.Add(wp.Name, name, r.Coverage())
+					res.Overpredictions.Add(wp.Name, name, r.Overprediction())
+				},
+			})
 		}
 		if withSequitur {
-			a := sequitur.Analyze(missSymbols(o, wp))
-			res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
-			res.Overpredictions.Add(wp.Name, "sequitur", 0)
+			jobs = append(jobs, Job{
+				Run: func() any { return sequitur.Analyze(missSymbols(o, wp)) },
+				Collect: func(v any) {
+					a := v.(sequitur.Analysis)
+					res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
+					res.Overpredictions.Add(wp.Name, "sequitur", 0)
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	return res
 }

@@ -29,19 +29,28 @@ func DegreeSweep(o Options, prefetchers []string, degrees []int) *DegreeSweepRes
 		Coverage:        &Grid{Title: "Extension: coverage vs prefetch degree", Unit: "%"},
 		Overpredictions: &Grid{Title: "Extension: overpredictions vs prefetch degree", Unit: "%"},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, name := range prefetchers {
 			for _, d := range degrees {
-				meter := &dram.Meter{}
-				cfg := prefetch.DefaultEvalConfig()
-				cfg.Meter = meter
-				p := Build(name, d, meter, o.Scale)
-				r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
-				col := fmt.Sprintf("%s@%d", name, d)
-				res.Coverage.Add(wp.Name, col, r.Coverage())
-				res.Overpredictions.Add(wp.Name, col, r.Overprediction())
+				jobs = append(jobs, Job{
+					Run: func() any {
+						meter := &dram.Meter{}
+						cfg := prefetch.DefaultEvalConfig()
+						cfg.Meter = meter
+						p := Build(name, d, meter, o.Scale)
+						return prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+					},
+					Collect: func(v any) {
+						r := v.(*prefetch.Result)
+						col := fmt.Sprintf("%s@%d", name, d)
+						res.Coverage.Add(wp.Name, col, r.Coverage())
+						res.Overpredictions.Add(wp.Name, col, r.Overprediction())
+					},
+				})
 			}
 		}
 	}
+	runJobs(o, jobs)
 	return res
 }

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The execution engine runs a runner's independent simulation cells across
+// a bounded worker pool while keeping output byte-identical to a serial
+// run. The contract every migrated runner follows:
+//
+//   - one Job per independent unit of simulation (typically one
+//     (workload, series) grid cell);
+//   - Job.Run owns every piece of mutable state it touches — its own
+//     trace generator, dram.Meter and prefetcher instance — and returns a
+//     result value without writing to any shared structure;
+//   - Job.Collect folds the result into the runner's grids and maps. It
+//     executes serially, in job-list order, only after every Run has
+//     finished — so grids are assembled in exactly the order the old
+//     serial loops used, never via concurrent Grid.Add.
+//
+// Because every runner is deterministic for fixed Options (package doc),
+// Run results do not depend on scheduling, and the ordered Collect pass
+// makes rendered output independent of Parallelism.
+
+// Job is one independent unit of an experiment. Run executes on a worker
+// goroutine; Collect (optional) executes serially afterwards, in job
+// order, and receives Run's return value.
+type Job struct {
+	Run     func() any
+	Collect func(any)
+}
+
+// parallelism resolves the worker count for a run: Options.Parallelism if
+// positive, otherwise the number of usable CPUs.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// jobPanic carries a recovered panic from a worker to the collect pass so
+// it resurfaces on the caller's goroutine, as it would in a serial run.
+type jobPanic struct{ v any }
+
+// runJobs executes jobs across min(parallelism, len(jobs)) workers, then
+// runs every Collect serially in job order. With one worker the jobs run
+// on the calling goroutine in order, preserving today's serial behaviour
+// exactly. A panicking job does not tear down the process from a worker
+// goroutine; the first panic (in job order) is re-raised on the caller.
+func runJobs(o Options, jobs []Job) {
+	workers := o.parallelism()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]any, len(jobs))
+	if workers <= 1 {
+		for i := range jobs {
+			results[i] = jobs[i].Run()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					results[i] = protectedRun(jobs[i].Run)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range jobs {
+		if p, ok := results[i].(jobPanic); ok {
+			panic(p.v)
+		}
+		if jobs[i].Collect != nil {
+			jobs[i].Collect(results[i])
+		}
+	}
+}
+
+func protectedRun(run func() any) (res any) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = jobPanic{r}
+		}
+	}()
+	return run()
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunJobsMoreJobsThanWorkers drives the pool with far more jobs than
+// workers and checks every job ran exactly once and every Collect executed
+// serially, in job order, after all Runs. Run under -race (CI does) this
+// is the engine's honesty check.
+func TestRunJobsMoreJobsThanWorkers(t *testing.T) {
+	const n = 64
+	o := Options{Parallelism: 8}
+	var running, ran atomic.Int64
+	collected := make([]int, 0, n)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Run: func() any {
+				running.Add(1)
+				defer running.Add(-1)
+				ran.Add(1)
+				return i * i
+			},
+			Collect: func(v any) {
+				// Collect must run after every job has finished...
+				if running.Load() != 0 {
+					t.Errorf("Collect ran while %d jobs still running", running.Load())
+				}
+				if v.(int) != i*i {
+					t.Errorf("job %d got result %v", i, v)
+				}
+				collected = append(collected, i)
+			},
+		}
+	}
+	runJobs(o, jobs)
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d jobs", ran.Load(), n)
+	}
+	// ...and in job order.
+	for i, c := range collected {
+		if c != i {
+			t.Fatalf("collect order broken at %d: %v", i, collected[:i+1])
+		}
+	}
+}
+
+func TestRunJobsSerialFallback(t *testing.T) {
+	for _, par := range []int{0, 1, 3} {
+		order := []int{}
+		jobs := []Job{
+			{Run: func() any { return "a" }, Collect: func(v any) { order = append(order, 0) }},
+			{Run: func() any { return "b" }, Collect: func(v any) { order = append(order, 1) }},
+		}
+		runJobs(Options{Parallelism: par}, jobs)
+		if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+			t.Fatalf("Parallelism=%d: collect order %v", par, order)
+		}
+	}
+}
+
+// TestRunJobsPanicPropagates checks a panicking job resurfaces on the
+// caller's goroutine instead of crashing the process from a worker.
+func TestRunJobsPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	jobs := []Job{
+		{Run: func() any { return nil }},
+		{Run: func() any { panic("boom") }},
+		{Run: func() any { return nil }},
+		{Run: func() any { return nil }},
+	}
+	runJobs(Options{Parallelism: 4}, jobs)
+}
+
+// renderAll renders every grid and table a runner produces, so the
+// determinism test compares complete output byte-for-byte.
+var determinismRunners = []struct {
+	name   string
+	render func(Options) string
+}{
+	{"Opportunity", func(o Options) string {
+		r := Opportunity(o)
+		return r.Coverage.String() + r.StreamLength.String() + r.HistogramTable()
+	}},
+	{"Lookup", func(o Options) string {
+		r := Lookup(o)
+		return r.Accuracy.String() + r.MatchRate.String() + r.Coverage.String() + r.Overpred.String()
+	}},
+	{"Comparison", func(o Options) string {
+		r := Comparison(o, 1, true)
+		return r.Coverage.String() + r.Overpredictions.String()
+	}},
+	{"Sensitivity", func(o Options) string {
+		r := Sensitivity(o)
+		return r.HT.String() + r.EIT.String()
+	}},
+	{"Speedup", func(o Options) string {
+		r := Speedup(o, 4)
+		s := r.Speedup.String()
+		for _, p := range PrefetcherNames {
+			s += r.Speedup.format(r.GMean[p])
+		}
+		return s
+	}},
+	{"Bandwidth", func(o Options) string {
+		r := Bandwidth(o, 4)
+		return r.Overhead.String() + r.PerWorkload.String()
+	}},
+	{"Utilization", func(o Options) string {
+		r := Utilization(o, 4)
+		return r.BaselineGBps.String() + r.Utilization.String()
+	}},
+	{"SpatioTemporal", func(o Options) string {
+		return SpatioTemporal(o, 4).Coverage.String()
+	}},
+	{"Ablations", func(o Options) string {
+		return Ablations(o, 4).Coverage.String()
+	}},
+	{"DegreeSweep", func(o Options) string {
+		r := DegreeSweep(o, nil, []int{1, 4})
+		return r.Coverage.String() + r.Overpredictions.String()
+	}},
+}
+
+// TestRunnerDeterminism asserts every migrated runner renders byte-identical
+// output at Parallelism 1 and Parallelism 8 — the engine's contract. It
+// runs at QuickOptions scale on two contrasting workloads to keep the
+// non-short suite within a test budget; -short trims to the cheapest
+// runners.
+func TestRunnerDeterminism(t *testing.T) {
+	base := QuickOptions()
+	base.Workloads = []string{"OLTP", "MapReduce-W"}
+	for _, r := range determinismRunners {
+		t.Run(r.name, func(t *testing.T) {
+			if testing.Short() {
+				switch r.name {
+				case "Comparison", "Speedup", "Opportunity":
+				default:
+					t.Skip("short mode runs a representative subset")
+				}
+			}
+			serial := base
+			serial.Parallelism = 1
+			parallel := base
+			parallel.Parallelism = 8
+			got1 := r.render(serial)
+			got8 := r.render(parallel)
+			if got1 != got8 {
+				t.Fatalf("output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", got1, got8)
+			}
+			if len(got1) == 0 {
+				t.Fatal("runner rendered nothing")
+			}
+		})
+	}
+}

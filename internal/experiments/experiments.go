@@ -43,6 +43,11 @@ type Options struct {
 	Scale int
 	// Workloads restricts the run; nil means all nine.
 	Workloads []string
+	// Parallelism bounds the worker pool the execution engine uses to run
+	// a runner's independent simulation cells; 0 (the default) means
+	// runtime.GOMAXPROCS(0) and 1 forces a fully serial run. Rendered
+	// output is byte-identical at every setting (see engine.go).
+	Parallelism int
 }
 
 // DefaultOptions is laptop scale: 2 M accesses (half of them warmup),
@@ -127,15 +132,29 @@ type Cell struct {
 }
 
 // Grid is a set of cells renderable as the paper's grouped-bar figures.
+// Populate it through Add: Add maintains an index that makes Value and
+// Lookup O(1), which matters now that grids are assembled in a tight
+// collect pass after parallel runs (engine.go).
 type Grid struct {
 	Title  string
 	Unit   string // e.g. "%" for fractions rendered as percentages
 	Cells  []Cell
 	series []string
+	index  map[cellKey]int
 }
+
+type cellKey struct{ workload, series string }
 
 // Add appends a measurement.
 func (g *Grid) Add(workload, series string, v float64) {
+	if g.index == nil {
+		g.index = make(map[cellKey]int)
+	}
+	if _, dup := g.index[cellKey{workload, series}]; !dup {
+		// First writer wins, matching the old linear scan's behaviour on
+		// duplicate (workload, series) pairs.
+		g.index[cellKey{workload, series}] = len(g.Cells)
+	}
 	g.Cells = append(g.Cells, Cell{Workload: workload, Series: series, Value: v})
 	for _, s := range g.series {
 		if s == series {
@@ -145,14 +164,30 @@ func (g *Grid) Add(workload, series string, v float64) {
 	g.series = append(g.series, series)
 }
 
-// Value returns the cell for (workload, series), or 0.
-func (g *Grid) Value(workload, series string) float64 {
+// Lookup returns the cell for (workload, series) and whether it exists —
+// use it where a missing cell (a dropped job) must be distinguishable from
+// a measured zero.
+func (g *Grid) Lookup(workload, series string) (float64, bool) {
+	if g.index != nil {
+		if i, ok := g.index[cellKey{workload, series}]; ok {
+			return g.Cells[i].Value, true
+		}
+		return 0, false
+	}
+	// Grids built by writing Cells directly (tests, literals) have no
+	// index; fall back to the scan.
 	for _, c := range g.Cells {
 		if c.Workload == workload && c.Series == series {
-			return c.Value
+			return c.Value, true
 		}
 	}
-	return 0
+	return 0, false
+}
+
+// Value returns the cell for (workload, series), or 0 if it is missing.
+func (g *Grid) Value(workload, series string) float64 {
+	v, _ := g.Lookup(workload, series)
+	return v
 }
 
 // Series returns the series names in insertion order.
@@ -171,7 +206,9 @@ func (g *Grid) Workloads() []string {
 	return out
 }
 
-// Mean returns the arithmetic mean of a series across workloads.
+// Mean returns the arithmetic mean of a series across the workloads that
+// actually measured it. Missing (workload, series) cells are skipped, not
+// averaged in as zeroes.
 func (g *Grid) Mean(series string) float64 {
 	var sum float64
 	n := 0
@@ -219,7 +256,15 @@ func (g *Grid) String() string {
 	return b.String()
 }
 
-func (g *Grid) cellString(w, s string) string { return g.format(g.Value(w, s)) }
+// cellString renders one table cell; a missing cell renders as "-" so a
+// dropped measurement cannot masquerade as a measured 0.0.
+func (g *Grid) cellString(w, s string) string {
+	v, ok := g.Lookup(w, s)
+	if !ok {
+		return fmt.Sprintf("%12s", "-")
+	}
+	return g.format(v)
+}
 
 func (g *Grid) format(v float64) string {
 	if g.Unit == "%" {
@@ -229,7 +274,7 @@ func (g *Grid) format(v float64) string {
 }
 
 // SortCells orders cells by workload then series, for stable output in
-// tests.
+// tests, and rebuilds the lookup index around the new positions.
 func (g *Grid) SortCells() {
 	sort.Slice(g.Cells, func(i, j int) bool {
 		if g.Cells[i].Workload != g.Cells[j].Workload {
@@ -237,4 +282,10 @@ func (g *Grid) SortCells() {
 		}
 		return g.Cells[i].Series < g.Cells[j].Series
 	})
+	g.index = make(map[cellKey]int, len(g.Cells))
+	for i, c := range g.Cells {
+		if _, dup := g.index[cellKey{c.Workload, c.Series}]; !dup {
+			g.index[cellKey{c.Workload, c.Series}] = i
+		}
+	}
 }

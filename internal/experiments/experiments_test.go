@@ -63,6 +63,41 @@ func TestGrid(t *testing.T) {
 	}
 }
 
+func TestGridLookupDistinguishesMissingCells(t *testing.T) {
+	g := &Grid{Title: "t", Unit: "%"}
+	g.Add("w1", "a", 0.0) // a measured zero
+	g.Add("w1", "b", 0.5)
+	g.Add("w2", "b", 0.25)
+	if v, ok := g.Lookup("w1", "a"); !ok || v != 0 {
+		t.Fatalf("Lookup(w1,a) = %v,%v — a measured zero must report ok", v, ok)
+	}
+	if _, ok := g.Lookup("w2", "a"); ok {
+		t.Fatal("Lookup(w2,a) reported a cell that was never measured")
+	}
+	// A missing cell renders as "-", not as a fake 0.0.
+	row := g.cellString("w2", "a")
+	if !strings.Contains(row, "-") || strings.Contains(row, "0.0") {
+		t.Fatalf("missing cell rendered %q", row)
+	}
+	if g.cellString("w1", "a") == g.cellString("w2", "a") {
+		t.Fatal("measured zero and missing cell render identically")
+	}
+	// Mean skips missing cells instead of averaging them in as zeroes.
+	if got := g.Mean("b"); got != 0.375 {
+		t.Fatalf("Mean(b) = %v, want 0.375 over the two present cells", got)
+	}
+	// The index survives SortCells.
+	g.SortCells()
+	if v, ok := g.Lookup("w2", "b"); !ok || v != 0.25 {
+		t.Fatalf("Lookup after SortCells = %v,%v", v, ok)
+	}
+	// Lookup works on grids whose Cells were written directly (no index).
+	direct := &Grid{Cells: []Cell{{Workload: "w", Series: "s", Value: 1}}}
+	if v, ok := direct.Lookup("w", "s"); !ok || v != 1 {
+		t.Fatalf("Lookup on direct-built grid = %v,%v", v, ok)
+	}
+}
+
 func TestComparisonEndToEnd(t *testing.T) {
 	r := Comparison(tinyOptions(), 1, true)
 	if len(r.Coverage.Workloads()) != 2 {

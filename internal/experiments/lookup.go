@@ -138,7 +138,17 @@ type LookupResult struct {
 	Overpred  *Grid // Fig. 5 bottom: overpredictions by max depth
 }
 
-// Lookup runs the Section II lookup-depth analyses (depths 1..5).
+// lookupAnalyses is one workload's combined depth-analysis output, the
+// result of a single engine job (the expensive part — extracting the miss
+// sequence — is shared by both analyses, so they run as one job rather
+// than one per depth series).
+type lookupAnalyses struct {
+	depths []LookupDepthStats
+	vary   []VaryLookupStats
+}
+
+// Lookup runs the Section II lookup-depth analyses (depths 1..5), one
+// engine job per workload.
 func Lookup(o Options) *LookupResult {
 	const maxDepth = 5
 	res := &LookupResult{
@@ -147,23 +157,36 @@ func Lookup(o Options) *LookupResult {
 		Coverage:  &Grid{Title: "Fig. 5: coverage of an N-address-fallback temporal prefetcher", Unit: "%"},
 		Overpred:  &Grid{Title: "Fig. 5: overpredictions of an N-address-fallback temporal prefetcher", Unit: "%"},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
-		syms := missSymbols(o, wp)
-		lines := make([]mem.Line, len(syms))
-		for i, v := range syms {
-			lines[i] = mem.Line(v)
-		}
-		for _, st := range AnalyzeLookupDepths(lines, maxDepth) {
-			label := depthLabel(st.Depth)
-			res.Accuracy.Add(wp.Name, label, st.Accuracy())
-			res.MatchRate.Add(wp.Name, label, st.MatchRate())
-		}
-		for _, st := range AnalyzeVaryLookup(lines, maxDepth) {
-			label := depthLabel(st.MaxDepth)
-			res.Coverage.Add(wp.Name, label, st.Coverage)
-			res.Overpred.Add(wp.Name, label, st.Overpredictions)
-		}
+		jobs = append(jobs, Job{
+			Run: func() any {
+				syms := missSymbols(o, wp)
+				lines := make([]mem.Line, len(syms))
+				for i, v := range syms {
+					lines[i] = mem.Line(v)
+				}
+				return lookupAnalyses{
+					depths: AnalyzeLookupDepths(lines, maxDepth),
+					vary:   AnalyzeVaryLookup(lines, maxDepth),
+				}
+			},
+			Collect: func(v any) {
+				a := v.(lookupAnalyses)
+				for _, st := range a.depths {
+					label := depthLabel(st.Depth)
+					res.Accuracy.Add(wp.Name, label, st.Accuracy())
+					res.MatchRate.Add(wp.Name, label, st.MatchRate())
+				}
+				for _, st := range a.vary {
+					label := depthLabel(st.MaxDepth)
+					res.Coverage.Add(wp.Name, label, st.Coverage)
+					res.Overpred.Add(wp.Name, label, st.Overpredictions)
+				}
+			},
+		})
 	}
+	runJobs(o, jobs)
 	return res
 }
 

@@ -23,33 +23,49 @@ type OpportunityResult struct {
 	HistogramOrder []string
 }
 
-// Opportunity reproduces Figures 1, 2 and 12.
+// Opportunity reproduces Figures 1, 2 and 12. Each (workload, prefetcher)
+// evaluation and each workload's Sequitur analysis is an independent
+// engine job.
 func Opportunity(o Options) *OpportunityResult {
 	res := &OpportunityResult{
 		Coverage:     &Grid{Title: "Fig. 1: read-miss coverage vs temporal opportunity", Unit: "%"},
 		StreamLength: &Grid{Title: "Fig. 2: average temporal stream length"},
 		Histograms:   make(map[string]*stats.Histogram),
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, name := range []string{"isb", "stms", "digram"} {
-			meter := &dram.Meter{}
-			cfg := prefetch.DefaultEvalConfig()
-			cfg.Meter = meter
-			p := Build(name, 1, meter, o.Scale)
-			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
-			if name != "digram" {
-				res.Coverage.Add(wp.Name, name, r.ReadCoverage())
-			}
-			if name != "isb" {
-				res.StreamLength.Add(wp.Name, name, r.MeanStreamLength())
-			}
+			jobs = append(jobs, Job{
+				Run: func() any {
+					meter := &dram.Meter{}
+					cfg := prefetch.DefaultEvalConfig()
+					cfg.Meter = meter
+					p := Build(name, 1, meter, o.Scale)
+					return prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+				},
+				Collect: func(v any) {
+					r := v.(*prefetch.Result)
+					if name != "digram" {
+						res.Coverage.Add(wp.Name, name, r.ReadCoverage())
+					}
+					if name != "isb" {
+						res.StreamLength.Add(wp.Name, name, r.MeanStreamLength())
+					}
+				},
+			})
 		}
-		a := sequitur.Analyze(missSymbols(o, wp))
-		res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
-		res.StreamLength.Add(wp.Name, "sequitur", a.MeanStreamLength())
-		res.Histograms[wp.Name] = a.Hist
-		res.HistogramOrder = append(res.HistogramOrder, wp.Name)
+		jobs = append(jobs, Job{
+			Run: func() any { return sequitur.Analyze(missSymbols(o, wp)) },
+			Collect: func(v any) {
+				a := v.(sequitur.Analysis)
+				res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
+				res.StreamLength.Add(wp.Name, "sequitur", a.MeanStreamLength())
+				res.Histograms[wp.Name] = a.Hist
+				res.HistogramOrder = append(res.HistogramOrder, wp.Name)
+			},
+		})
 	}
+	runJobs(o, jobs)
 	return res
 }
 

@@ -46,13 +46,7 @@ func (c CIResult) String() string {
 // independent samples. Each sample perturbs the workload seed, modelling
 // measurement from a different checkpoint of the same application.
 func SpeedupCI(o Options, workloadName, prefetcher string, degree, k int) CIResult {
-	mc := config.DefaultMachine()
-	if o.Scale > 4 {
-		mc.L2SizeBytes /= o.Scale / 4
-		if mc.L2SizeBytes < mc.L1DSizeBytes*2 {
-			mc.L2SizeBytes = mc.L1DSizeBytes * 2
-		}
-	}
+	mc := config.DefaultMachine().ScaleLLCForTrace(o.Scale)
 	wp := workload.ByName(workloadName)
 	samples := make([]float64, 0, k)
 	for i := 0; i < k; i++ {

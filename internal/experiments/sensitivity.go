@@ -48,20 +48,32 @@ func Sensitivity(o Options) *SensitivityResult {
 		ChosenHT:  16 << 20 / max(o.Scale, 1),
 		ChosenEIT: 2 << 20 / max(o.Scale, 1),
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, size := range htSizes {
 			cfg := core.DefaultConfig(1)
 			cfg.Tables.HTEntries = size / max(o.Scale, 1)
 			cfg.Tables.EITRows = 8 << 20 / max(o.Scale, 1) // effectively unbounded
-			res.HT.Add(wp.Name, sizeLabel(size, "entries"), runDomino(o, wp, cfg))
+			jobs = append(jobs, Job{
+				Run: func() any { return runDomino(o, wp, cfg) },
+				Collect: func(v any) {
+					res.HT.Add(wp.Name, sizeLabel(size, "entries"), v.(float64))
+				},
+			})
 		}
 		for _, rows := range eitRows {
 			cfg := core.DefaultConfig(1)
 			cfg.Tables.HTEntries = 16 << 20 / max(o.Scale, 1)
 			cfg.Tables.EITRows = rows / max(o.Scale, 1)
-			res.EIT.Add(wp.Name, sizeLabel(rows, "rows"), runDomino(o, wp, cfg))
+			jobs = append(jobs, Job{
+				Run: func() any { return runDomino(o, wp, cfg) },
+				Collect: func(v any) {
+					res.EIT.Add(wp.Name, sizeLabel(rows, "rows"), v.(float64))
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	return res
 }
 

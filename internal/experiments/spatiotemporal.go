@@ -17,15 +17,23 @@ func SpatioTemporal(o Options, degree int) *SpatioTemporalResult {
 	res := &SpatioTemporalResult{
 		Coverage: &Grid{Title: "Fig. 16: spatio-temporal prefetching coverage", Unit: "%"},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
 		for _, name := range []string{"vldp", "domino", "vldp+domino"} {
-			meter := &dram.Meter{}
-			cfg := prefetch.DefaultEvalConfig()
-			cfg.Meter = meter
-			p := Build(name, degree, meter, o.Scale)
-			r := prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
-			res.Coverage.Add(wp.Name, name, r.Coverage())
+			jobs = append(jobs, Job{
+				Run: func() any {
+					meter := &dram.Meter{}
+					cfg := prefetch.DefaultEvalConfig()
+					cfg.Meter = meter
+					p := Build(name, degree, meter, o.Scale)
+					return prefetch.RunWarm(o.trace(wp), p, cfg, o.Warmup)
+				},
+				Collect: func(v any) {
+					res.Coverage.Add(wp.Name, name, v.(*prefetch.Result).Coverage())
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	return res
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"domino/internal/config"
 	"domino/internal/dram"
 	"domino/internal/prefetch"
@@ -19,41 +21,49 @@ type SpeedupResult struct {
 }
 
 // Speedup reproduces Figure 14 with the timing model (degree 4, Table I
-// machine). Because the traces and metadata tables run Scale× smaller than
-// the paper's, the LLC is scaled by the same factor — otherwise the scaled
-// working sets would fit entirely in a 4 MB cache, which the paper's server
-// workloads ("vast datasets beyond what can be captured by on-chip
-// caches") emphatically do not.
+// machine), with the LLC scaled to the shortened traces
+// (config.Machine.ScaleLLCForTrace). Each (workload, prefetcher) timing
+// simulation is an independent engine job; a workload's prefetcher jobs
+// are keyed on that workload's baseline job through a sync.OnceValue, so
+// the baseline is simulated exactly once per workload no matter which
+// worker gets there first.
 func Speedup(o Options, degree int) *SpeedupResult {
-	mc := config.DefaultMachine()
-	if o.Scale > 4 {
-		// Scale the LLC less aggressively than the metadata tables: a
-		// server LLC absorbs an appreciable fraction of L1 misses even
-		// though the dataset dwarfs it, and that fraction moderates
-		// prefetching speedup exactly as in the paper's machine.
-		mc.L2SizeBytes /= o.Scale / 4
-		if mc.L2SizeBytes < mc.L1DSizeBytes*2 {
-			mc.L2SizeBytes = mc.L1DSizeBytes * 2
-		}
-	}
+	mc := config.DefaultMachine().ScaleLLCForTrace(o.Scale)
 	res := &SpeedupResult{
 		Speedup:     &Grid{Title: "Fig. 14: speedup over no-prefetcher baseline (timing model)"},
 		GMean:       make(map[string]float64),
 		BaselineIPC: make(map[string]float64),
 	}
 	perPrefetcher := make(map[string][]float64)
+	var jobs []Job
 	for _, wp := range o.workloads() {
-		base := timing.Run(o.trace(wp), mc, prefetch.Null{}, &dram.Meter{}, o.Warmup)
-		res.BaselineIPC[wp.Name] = base.IPC()
+		baseline := sync.OnceValue(func() *timing.Result {
+			return timing.Run(o.trace(wp), mc, prefetch.Null{}, &dram.Meter{}, o.Warmup)
+		})
+		jobs = append(jobs, Job{
+			Run: func() any { return baseline() },
+			Collect: func(v any) {
+				res.BaselineIPC[wp.Name] = v.(*timing.Result).IPC()
+			},
+		})
 		for _, name := range PrefetcherNames {
-			meter := &dram.Meter{}
-			p := Build(name, degree, meter, o.Scale)
-			r := timing.Run(o.trace(wp), mc, p, meter, o.Warmup)
-			sp := r.SpeedupOver(base)
-			res.Speedup.Add(wp.Name, name, sp)
-			perPrefetcher[name] = append(perPrefetcher[name], sp)
+			jobs = append(jobs, Job{
+				Run: func() any {
+					base := baseline()
+					meter := &dram.Meter{}
+					p := Build(name, degree, meter, o.Scale)
+					r := timing.Run(o.trace(wp), mc, p, meter, o.Warmup)
+					return r.SpeedupOver(base)
+				},
+				Collect: func(v any) {
+					sp := v.(float64)
+					res.Speedup.Add(wp.Name, name, sp)
+					perPrefetcher[name] = append(perPrefetcher[name], sp)
+				},
+			})
 		}
 	}
+	runJobs(o, jobs)
 	for name, sps := range perPrefetcher {
 		res.GMean[name] = stats.GeoMean(sps)
 	}

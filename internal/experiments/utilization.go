@@ -28,17 +28,30 @@ func Utilization(o Options, degree int) *UtilizationResult {
 		BaselineGBps: &Grid{Title: "Sec. V-D: consumed off-chip bandwidth (GB/s), 4-core chip"},
 		Utilization:  &Grid{Title: "Sec. V-D: bandwidth utilisation with Domino", Unit: "%"},
 	}
+	var jobs []Job
 	for _, wp := range o.workloads() {
-		cfg := multicore.Config{Machine: mc, Accesses: o.Accesses}
-		base := multicore.Run(wp, cfg)
-		res.BaselineGBps.Add(wp.Name, "baseline", base.BandwidthGBps)
-
-		cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
-			return Build("domino", degree, m, o.Scale)
-		}
-		dom := multicore.Run(wp, cfg)
-		res.BaselineGBps.Add(wp.Name, "domino", dom.BandwidthGBps)
-		res.Utilization.Add(wp.Name, "domino", dom.BusUtilization)
+		jobs = append(jobs, Job{
+			Run: func() any {
+				return multicore.Run(wp, multicore.Config{Machine: mc, Accesses: o.Accesses})
+			},
+			Collect: func(v any) {
+				res.BaselineGBps.Add(wp.Name, "baseline", v.(*multicore.Result).BandwidthGBps)
+			},
+		}, Job{
+			Run: func() any {
+				cfg := multicore.Config{Machine: mc, Accesses: o.Accesses}
+				cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
+					return Build("domino", degree, m, o.Scale)
+				}
+				return multicore.Run(wp, cfg)
+			},
+			Collect: func(v any) {
+				dom := v.(*multicore.Result)
+				res.BaselineGBps.Add(wp.Name, "domino", dom.BandwidthGBps)
+				res.Utilization.Add(wp.Name, "domino", dom.BusUtilization)
+			},
+		})
 	}
+	runJobs(o, jobs)
 	return res
 }

@@ -257,6 +257,13 @@ func Run(tr trace.Reader, p Prefetcher, cfg EvalConfig) *Result {
 // RunWarm replays the first warmup accesses to warm caches, buffers and
 // prefetcher metadata, resets the statistics, and measures the rest of the
 // trace — the paper's warmed-checkpoint measurement methodology.
+//
+// If the trace ends before warmup accesses have been replayed, the reset
+// is clamped to end-of-trace: the entire trace counted as warmup and the
+// Result measures an empty window (all counters zero). The old behaviour —
+// silently skipping the reset and reporting warmup accesses as measured
+// statistics — made a too-short trace indistinguishable from a real
+// measurement.
 func RunWarm(tr trace.Reader, p Prefetcher, cfg EvalConfig, warmup int) *Result {
 	e := NewEvaluator(p, cfg)
 	n := 0
@@ -270,6 +277,9 @@ func RunWarm(tr trace.Reader, p Prefetcher, cfg EvalConfig, warmup int) *Result 
 		if n == warmup {
 			e.ResetStats()
 		}
+	}
+	if n < warmup {
+		e.ResetStats()
 	}
 	return e.Finish()
 }

@@ -130,6 +130,38 @@ func TestEvaluatorWarmupReset(t *testing.T) {
 	}
 }
 
+func TestEvaluatorWarmupEqualsTraceLength(t *testing.T) {
+	// warmup == trace length: the reset fires on the final access and the
+	// measured window is empty.
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 2}},
+	}}
+	r := RunWarm(accesses(1, 2, 3), p, smallCfg(), 3)
+	if r.Accesses != 0 || r.Misses != 0 || r.Covered != 0 {
+		t.Fatalf("measured window not empty: %+v", r)
+	}
+	if r.Coverage() != 0 || r.Overprediction() != 0 {
+		t.Fatalf("metrics nonzero on empty window: cov=%v over=%v",
+			r.Coverage(), r.Overprediction())
+	}
+}
+
+func TestEvaluatorWarmupExceedsTraceLength(t *testing.T) {
+	// warmup > trace length: the reset clamps to end-of-trace. Before the
+	// fix the reset never fired and the Result silently reported the
+	// warmup accesses as measured statistics.
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 2}},
+	}}
+	r := RunWarm(accesses(1, 2, 3), p, smallCfg(), 1000)
+	if r.Accesses != 0 || r.Misses != 0 || r.Covered != 0 || r.Issued != 0 {
+		t.Fatalf("warmup accesses leaked into measured stats: %+v", r)
+	}
+	if got := r.Meter.OverheadBytes(); got != 0 {
+		t.Fatalf("warmup traffic leaked into the meter: %d bytes", got)
+	}
+}
+
 func TestEvaluatorMissSequenceMatchesBaseline(t *testing.T) {
 	// The prefetching system's L1 miss addresses must equal the baseline
 	// system's: prefetch-buffer hits fill the L1 exactly like misses.
