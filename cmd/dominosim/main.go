@@ -11,9 +11,19 @@
 //
 //	dominosim -exp fig14 -j 8
 //
-// Evaluate one prefetcher on one workload:
+// Telemetry (all of it on stderr or in files — stdout stays
+// byte-identical):
+//
+//	dominosim -exp fig14 -progress          # live progress + ETA
+//	dominosim -exp fig14 -timing            # per-cell wall-time table
+//	dominosim -exp fig14 -metrics m.json    # metrics registry dump at exit
+//	dominosim -exp fig14 -cpuprofile cpu.pb # runtime profiles (go tool pprof)
+//
+// Evaluate one prefetcher on one workload, optionally tracing its
+// decisions as JSONL:
 //
 //	dominosim -eval -workload OLTP -prefetcher domino -degree 4
+//	dominosim -eval -workload OLTP -decision-trace trace.jsonl -decision-sample 64
 //
 // Measure speedup or opportunity:
 //
@@ -28,90 +38,246 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"domino"
+	"domino/internal/prefetch"
+	"domino/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, testably: flags from args, results to stdout, telemetry
+// and errors to stderr, exit code returned (0 ok, 1 runtime error,
+// 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dominosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp         = flag.String("exp", "", "experiment to run (fig1..fig16); empty for other modes")
-		evalMode    = flag.Bool("eval", false, "evaluate one prefetcher on one workload")
-		speedup     = flag.Bool("speedup", false, "measure timing speedup for one prefetcher")
-		opportunity = flag.Bool("opportunity", false, "measure Sequitur opportunity for one workload")
-		list        = flag.Bool("list", false, "list experiments, workloads and prefetchers")
-		workloadF   = flag.String("workload", "", "workload name (empty = all, where applicable)")
-		prefetcher  = flag.String("prefetcher", "domino", "prefetcher kind")
-		degree      = flag.Int("degree", 4, "prefetch degree")
-		accesses    = flag.Int("accesses", 2_000_000, "trace length per workload, including warmup")
-		warmup      = flag.Int("warmup", 1_000_000, "warmup accesses excluded from measurement")
-		scale       = flag.Int("scale", 16, "metadata-table scale divisor (paper size / scale)")
-		jobs        = flag.Int("j", 0, "parallel simulation jobs (0 = one per CPU, 1 = serial); output is identical at every setting")
-		traceFile   = flag.String("trace", "", "with -eval: evaluate on a binary trace file instead of a synthetic workload")
-		samples     = flag.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
-		format      = flag.String("format", "table", "with -exp: output format (table, csv, bars)")
+		exp         = fs.String("exp", "", "experiment to run (fig1..fig16); empty for other modes")
+		evalMode    = fs.Bool("eval", false, "evaluate one prefetcher on one workload")
+		speedup     = fs.Bool("speedup", false, "measure timing speedup for one prefetcher")
+		opportunity = fs.Bool("opportunity", false, "measure Sequitur opportunity for one workload")
+		list        = fs.Bool("list", false, "list experiments, workloads and prefetchers")
+		workloadF   = fs.String("workload", "", "workload name (empty = all, where applicable)")
+		prefetcher  = fs.String("prefetcher", "domino", "prefetcher kind")
+		degree      = fs.Int("degree", 4, "prefetch degree")
+		accesses    = fs.Int("accesses", 2_000_000, "trace length per workload, including warmup")
+		warmup      = fs.Int("warmup", 1_000_000, "warmup accesses excluded from measurement")
+		scale       = fs.Int("scale", 16, "metadata-table scale divisor (paper size / scale)")
+		jobs        = fs.Int("j", 0, "parallel simulation jobs (0 = one per CPU, 1 = serial); output is identical at every setting")
+		traceFile   = fs.String("trace", "", "with -eval: evaluate on a binary trace file instead of a synthetic workload")
+		samples     = fs.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
+		format      = fs.String("format", "table", "with -exp: output format (table, csv, bars)")
+
+		progressF  = fs.Bool("progress", false, "render live per-job progress and ETA to stderr")
+		timingF    = fs.Bool("timing", false, "print a per-cell wall-time table to stderr after the run")
+		metricsF   = fs.String("metrics", "", "write a JSON dump of the metrics registry to this file at exit")
+		decTraceF  = fs.String("decision-trace", "", "with -eval: write a JSONL trace of sampled prefetcher decisions to this file")
+		decSampleF = fs.Int("decision-sample", 1, "with -decision-trace: record every Nth triggering event")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintf(stderr, "dominosim: invalid -j %d: the job count must be >= 0 (0 = one worker per CPU, 1 = serial)\n", *jobs)
+		return 2
+	}
+	if *decTraceF != "" && !*evalMode {
+		fmt.Fprintln(stderr, "dominosim: -decision-trace requires -eval (decisions are traced per evaluation, not per experiment)")
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "dominosim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "dominosim:", err)
+			}
+		}()
+	}
 
 	o := domino.Options{Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale, Parallelism: *jobs}
 
-	switch {
-	case *list:
-		fmt.Println("experiments:", join(domino.Experiments()))
-		fmt.Println("workloads:  ", strings.Join(domino.Workloads(), ", "))
-		fmt.Println("prefetchers:", join(domino.Kinds()))
-	case *exp != "":
-		var ws []string
-		if *workloadF != "" {
-			ws = []string{*workloadF}
+	var progress *telemetry.Progress
+	var timing *telemetry.Timing
+	var observers []telemetry.JobObserver
+	if *progressF {
+		progress = telemetry.NewProgress(stderr)
+		observers = append(observers, progress)
+	}
+	if *timingF {
+		timing = telemetry.NewTiming()
+		observers = append(observers, timing)
+	}
+	o.Observer = telemetry.MultiObserver(observers...)
+	if *metricsF != "" {
+		o.Metrics = telemetry.New()
+	}
+
+	var decisions *telemetry.JSONL
+	if *decTraceF != "" {
+		f, err := os.Create(*decTraceF)
+		if err != nil {
+			return fail(stderr, err)
 		}
-		out, err := domino.RunExperimentFormat(domino.Experiment(*exp), o, domino.Format(*format), ws...)
-		fail(err)
-		fmt.Print(out)
-	case *evalMode && *traceFile != "":
-		f, err := os.Open(*traceFile)
-		fail(err)
 		defer f.Close()
-		rep, err := domino.EvaluateTraceFile(f, *traceFile, domino.Kind(*prefetcher), o)
-		fail(err)
-		fmt.Printf("%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% misses=%d\n",
+		decisions = telemetry.NewJSONL(f)
+		o.DecisionTracer = prefetch.TracerFunc(func(d prefetch.Decision) { decisions.Emit(d) })
+		o.DecisionSample = *decSampleF
+	}
+
+	stopWall := o.Metrics.Timer("run.wall").Start()
+	err := dispatch(o, stdout,
+		*list, *exp, *evalMode, *speedup, *opportunity,
+		*workloadF, *prefetcher, *traceFile, *samples, *format)
+	stopWall()
+
+	if progress != nil {
+		progress.Finish()
+	}
+	if timing != nil {
+		timing.WriteTable(stderr)
+	}
+	code := 0
+	if err != nil {
+		if err == errUsage {
+			fs.Usage()
+			return 2
+		}
+		fmt.Fprintln(stderr, "dominosim:", err)
+		code = 1
+	}
+	if decisions != nil {
+		o.Metrics.Counter("trace.decisions").Add(decisions.Count())
+		if err := decisions.Err(); err != nil {
+			fmt.Fprintln(stderr, "dominosim: decision trace:", err)
+			code = 1
+		}
+	}
+	if *metricsF != "" {
+		if err := writeMetrics(*metricsF, o.Metrics); err != nil {
+			fmt.Fprintln(stderr, "dominosim:", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// errUsage asks run to print usage and exit 2.
+var errUsage = fmt.Errorf("usage")
+
+// dispatch executes the selected mode, writing results to stdout.
+func dispatch(o domino.Options, stdout io.Writer,
+	list bool, exp string, evalMode, speedup, opportunity bool,
+	workloadF, prefetcher, traceFile string, samples int, format string) error {
+	switch {
+	case list:
+		fmt.Fprintln(stdout, "experiments:", join(domino.Experiments()))
+		fmt.Fprintln(stdout, "workloads:  ", strings.Join(domino.Workloads(), ", "))
+		fmt.Fprintln(stdout, "prefetchers:", join(domino.Kinds()))
+	case exp != "":
+		var ws []string
+		if workloadF != "" {
+			ws = []string{workloadF}
+		}
+		out, err := domino.RunExperimentFormat(domino.Experiment(exp), o, domino.Format(format), ws...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+	case evalMode && traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rep, err := domino.EvaluateTraceFile(f, traceFile, domino.Kind(prefetcher), o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% misses=%d\n",
 			rep.Workload, rep.Prefetcher, rep.Coverage*100, rep.Overprediction*100,
 			rep.Accuracy*100, rep.Misses)
-	case *evalMode:
-		for _, w := range pick(*workloadF) {
-			rep, err := domino.Evaluate(w, domino.Kind(*prefetcher), o)
-			fail(err)
-			fmt.Printf("%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% traffic-overhead=%5.1f%% misses=%d\n",
+	case evalMode:
+		for _, w := range pick(workloadF) {
+			rep, err := domino.Evaluate(w, domino.Kind(prefetcher), o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-16s %-12s coverage=%5.1f%% overpred=%5.1f%% accuracy=%5.1f%% traffic-overhead=%5.1f%% misses=%d\n",
 				rep.Workload, rep.Prefetcher, rep.Coverage*100, rep.Overprediction*100,
 				rep.Accuracy*100, rep.TrafficOverhead*100, rep.Misses)
 		}
-	case *speedup && *samples > 1:
-		for _, w := range pick(*workloadF) {
-			ci, err := domino.MeasureSpeedupCI(w, domino.Kind(*prefetcher), o, *samples)
-			fail(err)
-			fmt.Printf("%-16s %-12s speedup=%.3f ±%.3f (95%% CI, %d samples, err %.1f%%)\n",
-				w, *prefetcher, ci.Mean, ci.CI95, *samples, ci.RelativeError*100)
+	case speedup && samples > 1:
+		for _, w := range pick(workloadF) {
+			ci, err := domino.MeasureSpeedupCI(w, domino.Kind(prefetcher), o, samples)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-16s %-12s speedup=%.3f ±%.3f (95%% CI, %d samples, err %.1f%%)\n",
+				w, prefetcher, ci.Mean, ci.CI95, samples, ci.RelativeError*100)
 		}
-	case *speedup:
-		for _, w := range pick(*workloadF) {
-			rep, err := domino.MeasureSpeedup(w, domino.Kind(*prefetcher), o)
-			fail(err)
-			fmt.Printf("%-16s %-12s baseline-IPC=%.3f IPC=%.3f speedup=%.3f\n",
+	case speedup:
+		for _, w := range pick(workloadF) {
+			rep, err := domino.MeasureSpeedup(w, domino.Kind(prefetcher), o)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-16s %-12s baseline-IPC=%.3f IPC=%.3f speedup=%.3f\n",
 				rep.Workload, rep.Prefetcher, rep.BaselineIPC, rep.IPC, rep.Speedup)
 		}
-	case *opportunity:
-		for _, w := range pick(*workloadF) {
+	case opportunity:
+		for _, w := range pick(workloadF) {
 			rep, err := domino.MeasureOpportunity(w, o)
-			fail(err)
-			fmt.Printf("%-16s opportunity=%5.1f%% mean-stream=%.2f short-streams=%5.1f%% misses=%d\n",
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-16s opportunity=%5.1f%% mean-stream=%.2f short-streams=%5.1f%% misses=%d\n",
 				rep.Workload, rep.Coverage*100, rep.MeanStreamLength,
 				rep.ShortStreamFraction*100, rep.Misses)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return errUsage
 	}
+	return nil
+}
+
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteJSON(f)
 }
 
 func pick(workload string) []string {
@@ -129,9 +295,7 @@ func join[T ~string](xs []T) string {
 	return strings.Join(ss, ", ")
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dominosim:", err)
-		os.Exit(1)
-	}
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "dominosim:", err)
+	return 1
 }

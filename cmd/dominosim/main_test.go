@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns flags for a CI-size run.
+func tiny(extra ...string) []string {
+	return append([]string{
+		"-accesses", "20000", "-warmup", "10000", "-scale", "32",
+		"-workload", "OLTP",
+	}, extra...)
+}
+
+func TestRejectsNegativeJobs(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-exp", "fig1", "-j", "-3"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "invalid -j -3") {
+		t.Fatalf("stderr = %q, want a clear -j error", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty: %q", out.String())
+	}
+}
+
+func TestDecisionTraceRequiresEval(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-exp", "fig1", "-decision-trace", "x.jsonl"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "-decision-trace requires -eval") {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "Usage") && !strings.Contains(errb.String(), "-exp") {
+		t.Fatalf("no usage on stderr: %q", errb.String())
+	}
+}
+
+// TestExperimentTelemetrySmoke runs a small experiment with every
+// stderr/file telemetry sink enabled and checks stdout is exactly the
+// plain run's stdout — the CLI-level determinism contract — and that the
+// metrics dump is valid JSON with the engine's counters.
+func TestExperimentTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var plain, plainErr strings.Builder
+	if code := run(tiny("-exp", "fig2", "-j", "1"), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run failed (%d): %s", code, plainErr.String())
+	}
+
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	var out, errb strings.Builder
+	code := run(tiny("-exp", "fig2", "-j", "8", "-progress", "-timing", "-metrics", metrics), &out, &errb)
+	if code != 0 {
+		t.Fatalf("telemetry run failed (%d): %s", code, errb.String())
+	}
+	if out.String() != plain.String() {
+		t.Fatalf("stdout changed under telemetry:\n--- plain ---\n%s\n--- telemetry ---\n%s", plain.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "jobs in") || !strings.Contains(errb.String(), "worker") {
+		t.Fatalf("progress/timing output missing from stderr: %q", errb.String())
+	}
+
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("metrics dump is not JSON: %v\n%s", err, b)
+	}
+	names := map[string]bool{}
+	for _, m := range doc.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{"run.wall", "engine.jobs", "engine.job_time"} {
+		if !names[want] {
+			t.Fatalf("metrics dump missing %q: %s", want, b)
+		}
+	}
+}
+
+// TestEvalDecisionTraceSmoke evaluates one prefetcher with a sampled
+// decision trace and checks the JSONL file parses line by line.
+func TestEvalDecisionTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real evaluation")
+	}
+	trace := filepath.Join(t.TempDir(), "d.jsonl")
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	var out, errb strings.Builder
+	code := run(tiny("-eval", "-prefetcher", "domino",
+		"-decision-trace", trace, "-decision-sample", "64", "-metrics", metrics), &out, &errb)
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "coverage=") {
+		t.Fatalf("eval output missing: %q", out.String())
+	}
+	b, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d traced decisions", len(lines))
+	}
+	for _, l := range lines {
+		var d struct {
+			Line *uint64 `json:"line"`
+		}
+		if err := json.Unmarshal([]byte(l), &d); err != nil || d.Line == nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+	}
+	// The decision count flows into the metrics dump.
+	mb, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "trace.decisions") {
+		t.Fatalf("metrics dump missing trace.decisions: %s", mb)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real evaluation")
+	}
+	dir := t.TempDir()
+	cpu, heap := filepath.Join(dir, "cpu.pb"), filepath.Join(dir, "heap.pb")
+	var out, errb strings.Builder
+	code := run(tiny("-eval", "-cpuprofile", cpu, "-memprofile", heap), &out, &errb)
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, heap} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"domino/internal/experiments"
 	"domino/internal/prefetch"
 	"domino/internal/sequitur"
+	"domino/internal/telemetry"
 	"domino/internal/timing"
 	"domino/internal/trace"
 	"domino/internal/workload"
@@ -79,6 +80,25 @@ type Options struct {
 	// worker per usable CPU; 1 forces a serial run. Output is
 	// byte-identical at every setting.
 	Parallelism int
+	// Observer, if non-nil, receives per-job lifecycle events from the
+	// experiment engine: telemetry.NewProgress for a live stderr
+	// progress line, telemetry.NewTiming for a per-cell wall-time table,
+	// or both via telemetry.MultiObserver. Observers never affect
+	// results or rendered output.
+	Observer telemetry.JobObserver
+	// Metrics, if non-nil, accumulates counters and timers across the
+	// run — engine job counts and durations, and per-class off-chip
+	// traffic for trace-based evaluations. Dump it with
+	// Registry.WriteJSON (cmd/dominosim's -metrics flag).
+	Metrics *telemetry.Registry
+	// DecisionTracer, if non-nil, receives a sampled structured record
+	// of every prefetcher decision during Evaluate and
+	// EvaluateTraceFile (cmd/dominosim exports it as JSONL via
+	// -decision-trace).
+	DecisionTracer prefetch.DecisionTracer
+	// DecisionSample records every Nth triggering event when
+	// DecisionTracer is set; values below 1 record every event.
+	DecisionSample int
 }
 
 // DefaultOptions is laptop scale: 2 M accesses, half warmup, tables /16,
@@ -119,6 +139,8 @@ func (o Options) experimentOptions(workloads ...string) experiments.Options {
 		Scale:       o.Scale,
 		Workloads:   workloads,
 		Parallelism: o.Parallelism,
+		Observer:    o.Observer,
+		Metrics:     o.Metrics,
 	}
 }
 
@@ -157,9 +179,12 @@ func Evaluate(workloadName string, kind Kind, o Options) (Report, error) {
 	meter := &dram.Meter{}
 	cfg := prefetch.DefaultEvalConfig()
 	cfg.Meter = meter
+	cfg.Tracer = o.DecisionTracer
+	cfg.TraceEvery = o.DecisionSample
 	p := experiments.Build(string(kind), o.Degree, meter, o.Scale)
 	tr := trace.Limit(workload.New(wp), o.Accesses)
 	r := prefetch.RunWarm(tr, p, cfg, o.Warmup)
+	publishTraffic(o.Metrics, meter)
 	rep := Report{
 		Workload:         wp.Name,
 		Prefetcher:       kind,
@@ -191,6 +216,8 @@ func EvaluateTraceFile(r io.Reader, label string, kind Kind, o Options) (Report,
 	meter := &dram.Meter{}
 	cfg := prefetch.DefaultEvalConfig()
 	cfg.Meter = meter
+	cfg.Tracer = o.DecisionTracer
+	cfg.TraceEvery = o.DecisionSample
 	p := experiments.Build(string(kind), o.Degree, meter, o.Scale)
 	warm := o.Warmup
 	if uint64(warm) >= fr.Count() {
@@ -200,6 +227,7 @@ func EvaluateTraceFile(r io.Reader, label string, kind Kind, o Options) (Report,
 	if err := fr.Err(); err != nil {
 		return Report{}, err
 	}
+	publishTraffic(o.Metrics, meter)
 	rep := Report{
 		Workload:         label,
 		Prefetcher:       kind,
@@ -287,6 +315,19 @@ func MeasureOpportunity(workloadName string, o Options) (OpportunityReport, erro
 		MeanStreamLength:    a.MeanStreamLength(),
 		ShortStreamFraction: a.FractionShortStreams(),
 	}, nil
+}
+
+// publishTraffic folds a run's off-chip traffic decomposition into the
+// metrics registry, one counter pair per dram.Class, accumulating across
+// evaluations within a process.
+func publishTraffic(reg *telemetry.Registry, meter *dram.Meter) {
+	if reg == nil {
+		return
+	}
+	meter.Each(func(c dram.Class, bytes, transfers uint64) {
+		reg.Counter("dram." + c.String() + ".bytes").Add(int64(bytes))
+		reg.Counter("dram." + c.String() + ".transfers").Add(int64(transfers))
+	})
 }
 
 func lookupWorkload(name string) (workload.Params, error) {

@@ -103,6 +103,19 @@ func (m *Meter) OverheadBytes() uint64 {
 	return m.bytes[PrefetchWrong] + m.bytes[MetadataRead] + m.bytes[MetadataUpdate]
 }
 
+// Each calls f for every traffic class with recorded transfers, in class
+// order — the iteration telemetry uses to publish a run's traffic
+// decomposition into a metrics registry without this package knowing
+// about registries.
+func (m *Meter) Each(f func(c Class, bytes, transfers uint64)) {
+	for c := Class(0); c < numClasses; c++ {
+		if m.transfers[c] == 0 {
+			continue
+		}
+		f(c, m.bytes[c], m.transfers[c])
+	}
+}
+
 // Reset zeroes the meter.
 func (m *Meter) Reset() { *m = Meter{} }
 

@@ -52,6 +52,26 @@ func TestMeterAddReset(t *testing.T) {
 	}
 }
 
+func TestMeterEach(t *testing.T) {
+	var m Meter
+	m.RecordBlock(Writeback)
+	m.RecordBlock(Demand)
+	m.RecordBlocks(Demand, 2)
+	type row struct {
+		c                Class
+		bytes, transfers uint64
+	}
+	var got []row
+	m.Each(func(c Class, bytes, transfers uint64) {
+		got = append(got, row{c, bytes, transfers})
+	})
+	// Class order, only recorded classes.
+	want := []row{{Demand, 192, 3}, {Writeback, 64, 1}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Each rows = %+v, want %+v", got, want)
+	}
+}
+
 func TestMeterString(t *testing.T) {
 	var m Meter
 	if m.String() != "idle" {

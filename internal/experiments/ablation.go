@@ -63,6 +63,7 @@ func Ablations(o Options, degree int) *AblationResult {
 	for _, wp := range o.workloads() {
 		for _, v := range AblationVariants() {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + v.Name,
 				Run: func() any {
 					cfg := core.ScaledConfig(degree, o.Scale)
 					post := v.Mutate(&cfg)

@@ -32,6 +32,7 @@ func Bandwidth(o Options, degree int) *BandwidthResult {
 	for _, wp := range o.workloads() {
 		for _, name := range prefetchers {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + name,
 				Run: func() any {
 					meter := &dram.Meter{}
 					cfg := prefetch.DefaultEvalConfig()

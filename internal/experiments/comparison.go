@@ -38,6 +38,7 @@ func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 	for _, wp := range o.workloads() {
 		for _, name := range PrefetcherNames {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + name,
 				Run: func() any {
 					meter := &dram.Meter{}
 					cfg := prefetch.DefaultEvalConfig()
@@ -54,7 +55,8 @@ func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 		}
 		if withSequitur {
 			jobs = append(jobs, Job{
-				Run: func() any { return sequitur.Analyze(missSymbols(o, wp)) },
+				Label: wp.Name + "/sequitur",
+				Run:   func() any { return sequitur.Analyze(missSymbols(o, wp)) },
 				Collect: func(v any) {
 					a := v.(sequitur.Analysis)
 					res.Coverage.Add(wp.Name, "sequitur", a.Coverage())

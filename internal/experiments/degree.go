@@ -34,6 +34,7 @@ func DegreeSweep(o Options, prefetchers []string, degrees []int) *DegreeSweepRes
 		for _, name := range prefetchers {
 			for _, d := range degrees {
 				jobs = append(jobs, Job{
+					Label: fmt.Sprintf("%s/%s@%d", wp.Name, name, d),
 					Run: func() any {
 						meter := &dram.Meter{}
 						cfg := prefetch.DefaultEvalConfig()

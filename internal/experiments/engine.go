@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"domino/internal/telemetry"
 )
 
 // The execution engine runs a runner's independent simulation cells across
@@ -26,8 +29,10 @@ import (
 
 // Job is one independent unit of an experiment. Run executes on a worker
 // goroutine; Collect (optional) executes serially afterwards, in job
-// order, and receives Run's return value.
+// order, and receives Run's return value. Label identifies the cell in
+// telemetry output ("OLTP/domino"); it never reaches stdout.
 type Job struct {
+	Label   string
 	Run     func() any
 	Collect func(any)
 }
@@ -50,31 +55,86 @@ type jobPanic struct{ v any }
 // on the calling goroutine in order, preserving today's serial behaviour
 // exactly. A panicking job does not tear down the process from a worker
 // goroutine; the first panic (in job order) is re-raised on the caller.
+//
+// When Options.Observer or Options.Metrics is set, runJobs emits per-job
+// lifecycle events (queued, started, finished with duration and worker
+// id) and engine counters. Telemetry never touches the results or the
+// Collect order, so rendered output stays byte-identical with it on, off,
+// and at every worker count. With both disabled the only cost over the
+// bare engine is one nil check per job.
 func runJobs(o Options, jobs []Job) {
 	workers := o.parallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	obs := o.Observer
+	if obs != nil {
+		labels := make([]string, len(jobs))
+		for i := range jobs {
+			labels[i] = jobs[i].Label
+		}
+		obs.JobsQueued(labels)
+	}
+	var jobCount *telemetry.Counter
+	var jobTime *telemetry.Timer
+	if o.Metrics != nil {
+		o.Metrics.Counter("engine.batches").Inc()
+		o.Metrics.Gauge("engine.workers").Set(int64(workers))
+		jobCount = o.Metrics.Counter("engine.jobs")
+		jobTime = o.Metrics.Timer("engine.job_time")
+	}
+	instrumented := obs != nil || o.Metrics != nil
+
+	// protected: recover panics into the result slot so they resurface,
+	// first-in-job-order, on the caller. The uninstrumented serial path
+	// runs unprotected — a panic there propagates from the job itself,
+	// exactly as the pre-engine serial loops behaved.
+	runOne := func(i, worker int, protected bool) any {
+		if !instrumented {
+			if protected {
+				return protectedRun(jobs[i].Run)
+			}
+			return jobs[i].Run()
+		}
+		if obs != nil {
+			obs.JobStarted(i, jobs[i].Label, worker)
+		}
+		t0 := time.Now()
+		var res any
+		if protected {
+			res = protectedRun(jobs[i].Run)
+		} else {
+			res = jobs[i].Run()
+		}
+		d := time.Since(t0)
+		jobCount.Inc()
+		jobTime.Observe(d)
+		if obs != nil {
+			obs.JobFinished(i, jobs[i].Label, worker, d)
+		}
+		return res
+	}
+
 	results := make([]any, len(jobs))
 	if workers <= 1 {
 		for i := range jobs {
-			results[i] = jobs[i].Run()
+			results[i] = runOne(i, 0, false)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {
 						return
 					}
-					results[i] = protectedRun(jobs[i].Run)
+					results[i] = runOne(i, worker, true)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"io"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"domino/internal/telemetry"
 )
 
 // TestRunJobsMoreJobsThanWorkers drives the pool with far more jobs than
@@ -78,6 +83,120 @@ func TestRunJobsPanicPropagates(t *testing.T) {
 	runJobs(Options{Parallelism: 4}, jobs)
 }
 
+// TestRunJobsFirstPanicInJobOrder drives the pool with several panicking
+// jobs finishing in arbitrary worker order and checks two things: the
+// panic that resurfaces on the caller is the first one in *job* order
+// (not completion order), and the workers drain cleanly first — every
+// job, including those after the panicking ones, ran exactly once.
+func TestRunJobsFirstPanicInJobOrder(t *testing.T) {
+	const n = 16
+	var ran atomic.Int64
+	defer func() {
+		if r := recover(); r != "panic-job-1" {
+			t.Fatalf("recovered %v, want panic-job-1 (first in job order)", r)
+		}
+		if ran.Load() != n {
+			t.Fatalf("workers did not drain: ran %d of %d jobs", ran.Load(), n)
+		}
+	}()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Run: func() any {
+			ran.Add(1)
+			switch i {
+			case 1:
+				// Stall so job 3's panic lands first in completion order.
+				time.Sleep(10 * time.Millisecond)
+				panic("panic-job-1")
+			case 3:
+				panic("panic-job-3")
+			}
+			return i
+		}}
+	}
+	runJobs(Options{Parallelism: 8}, jobs)
+	t.Fatal("runJobs returned despite panicking jobs")
+}
+
+// recordingObserver captures lifecycle events for assertions.
+type recordingObserver struct {
+	mu       sync.Mutex
+	queued   []string
+	started  int
+	finished int
+	workers  map[int]bool
+	labels   map[string]bool
+	negDur   bool
+}
+
+func (r *recordingObserver) JobsQueued(labels []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queued = append(r.queued, labels...)
+}
+
+func (r *recordingObserver) JobStarted(i int, label string, worker int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.started++
+}
+
+func (r *recordingObserver) JobFinished(i int, label string, worker int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished++
+	if r.workers == nil {
+		r.workers = map[int]bool{}
+		r.labels = map[string]bool{}
+	}
+	r.workers[worker] = true
+	r.labels[label] = true
+	if d < 0 {
+		r.negDur = true
+	}
+}
+
+// TestRunJobsObserverEvents checks the engine's lifecycle emission on both
+// the serial and the parallel path: one queued batch with every label, one
+// started+finished pair per job, worker ids within [0, workers).
+func TestRunJobsObserverEvents(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		obs := &recordingObserver{}
+		reg := telemetry.New()
+		o := Options{Parallelism: par, Observer: obs, Metrics: reg}
+		const n = 12
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Label: string(rune('a' + i)), Run: func() any { return i }}
+		}
+		runJobs(o, jobs)
+		if len(obs.queued) != n || obs.started != n || obs.finished != n {
+			t.Fatalf("par=%d: queued=%d started=%d finished=%d, want %d each",
+				par, len(obs.queued), obs.started, obs.finished, n)
+		}
+		if len(obs.labels) != n {
+			t.Fatalf("par=%d: %d distinct labels, want %d", par, len(obs.labels), n)
+		}
+		for w := range obs.workers {
+			if w < 0 || w >= par {
+				t.Fatalf("par=%d: worker id %d out of range", par, w)
+			}
+		}
+		if obs.negDur {
+			t.Fatalf("par=%d: negative job duration", par)
+		}
+		if got := reg.Counter("engine.jobs").Value(); got != n {
+			t.Fatalf("par=%d: engine.jobs = %d, want %d", par, got, n)
+		}
+		if got := reg.Timer("engine.job_time").Stats().Count; got != n {
+			t.Fatalf("par=%d: engine.job_time count = %d, want %d", par, got, n)
+		}
+		if got := reg.Gauge("engine.workers").Value(); got != int64(par) {
+			t.Fatalf("par=%d: engine.workers = %d", par, got)
+		}
+	}
+}
+
 // renderAll renders every grid and table a runner produces, so the
 // determinism test compares complete output byte-for-byte.
 var determinismRunners = []struct {
@@ -128,35 +247,95 @@ var determinismRunners = []struct {
 	}},
 }
 
-// TestRunnerDeterminism asserts every migrated runner renders byte-identical
-// output at Parallelism 1 and Parallelism 8 — the engine's contract. It
-// runs at QuickOptions scale on two contrasting workloads to keep the
-// non-short suite within a test budget; -short trims to the cheapest
-// runners.
+// withTelemetry attaches the full telemetry stack — progress and timing
+// observers plus a metrics registry — writing to io.Discard, mirroring
+// what cmd/dominosim wires up for -progress -timing -metrics.
+func withTelemetry(o Options) Options {
+	o.Observer = telemetry.MultiObserver(
+		telemetry.NewProgress(io.Discard), telemetry.NewTiming())
+	o.Metrics = telemetry.New()
+	return o
+}
+
+// TestRunnerDeterminism asserts every migrated runner renders
+// byte-identical output at Parallelism 1 and Parallelism 8, and that
+// attaching telemetry changes nothing — the engine's contract: worker
+// count and observability must never change a byte of stdout. Every
+// runner checks the plain j8 leg; the telemetry legs (instrumented
+// serial and parallel paths) run on the two cheapest runners only, since
+// those paths live in runJobs and are identical for every runner —
+// repeating them ten times would push the -race suite past its timeout
+// on a single CPU. It runs at QuickOptions scale on two contrasting
+// workloads; -short trims to a representative runner subset.
 func TestRunnerDeterminism(t *testing.T) {
 	base := QuickOptions()
 	base.Workloads = []string{"OLTP", "MapReduce-W"}
+	type leg struct {
+		name      string
+		par       int
+		telemetry bool
+	}
 	for _, r := range determinismRunners {
 		t.Run(r.name, func(t *testing.T) {
 			if testing.Short() {
 				switch r.name {
-				case "Comparison", "Speedup", "Opportunity":
+				case "Comparison", "Speedup", "Opportunity", "DegreeSweep":
 				default:
 					t.Skip("short mode runs a representative subset")
 				}
 			}
+			legs := []leg{{"j8", 8, false}}
+			switch r.name {
+			case "DegreeSweep", "Bandwidth":
+				legs = append(legs,
+					leg{"j1+telemetry", 1, true}, leg{"j8+telemetry", 8, true})
+			}
 			serial := base
 			serial.Parallelism = 1
-			parallel := base
-			parallel.Parallelism = 8
-			got1 := r.render(serial)
-			got8 := r.render(parallel)
-			if got1 != got8 {
-				t.Fatalf("output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", got1, got8)
-			}
-			if len(got1) == 0 {
+			want := r.render(serial)
+			if len(want) == 0 {
 				t.Fatal("runner rendered nothing")
 			}
+			for _, l := range legs {
+				o := base
+				o.Parallelism = l.par
+				if l.telemetry {
+					o = withTelemetry(o)
+				}
+				if got := r.render(o); got != want {
+					t.Fatalf("output differs between -j 1 and %s:\n--- j1 ---\n%s\n--- %s ---\n%s",
+						l.name, want, l.name, got)
+				}
+			}
 		})
+	}
+}
+
+// BenchmarkRunJobs measures the engine's per-job dispatch cost with
+// telemetry disabled — the acceptance bar is ≤2% overhead over the
+// pre-telemetry engine, which amounted to one atomic fetch-add and one
+// protectedRun per job. Compare against BenchmarkRunJobsTelemetry for the
+// enabled cost.
+func BenchmarkRunJobs(b *testing.B) {
+	benchRunJobs(b, Options{Parallelism: 4})
+}
+
+func BenchmarkRunJobsTelemetry(b *testing.B) {
+	benchRunJobs(b, withTelemetry(Options{Parallelism: 4}))
+}
+
+func benchRunJobs(b *testing.B, o Options) {
+	var sink atomic.Int64
+	jobs := make([]Job, 256)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label:   "bench/job",
+			Run:     func() any { return i },
+			Collect: func(v any) { sink.Add(int64(v.(int))) },
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		runJobs(o, jobs)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"domino/internal/prefetch"
 	"domino/internal/stms"
 	"domino/internal/stride"
+	"domino/internal/telemetry"
 	"domino/internal/trace"
 	"domino/internal/vldp"
 	"domino/internal/workload"
@@ -48,6 +49,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0) and 1 forces a fully serial run. Rendered
 	// output is byte-identical at every setting (see engine.go).
 	Parallelism int
+	// Observer, if non-nil, receives per-job lifecycle events from the
+	// engine (telemetry.NewProgress, telemetry.NewTiming, or both via
+	// telemetry.MultiObserver). Observers write to stderr or buffers
+	// chosen by the caller; rendered experiment output is unaffected.
+	Observer telemetry.JobObserver
+	// Metrics, if non-nil, accumulates engine counters and timers
+	// (jobs, batches, workers, per-job wall time) for a -metrics dump.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions is laptop scale: 2 M accesses (half of them warmup),

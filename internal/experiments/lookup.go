@@ -160,6 +160,7 @@ func Lookup(o Options) *LookupResult {
 	var jobs []Job
 	for _, wp := range o.workloads() {
 		jobs = append(jobs, Job{
+			Label: wp.Name + "/lookup-depths",
 			Run: func() any {
 				syms := missSymbols(o, wp)
 				lines := make([]mem.Line, len(syms))

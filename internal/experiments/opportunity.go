@@ -36,6 +36,7 @@ func Opportunity(o Options) *OpportunityResult {
 	for _, wp := range o.workloads() {
 		for _, name := range []string{"isb", "stms", "digram"} {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + name,
 				Run: func() any {
 					meter := &dram.Meter{}
 					cfg := prefetch.DefaultEvalConfig()
@@ -55,7 +56,8 @@ func Opportunity(o Options) *OpportunityResult {
 			})
 		}
 		jobs = append(jobs, Job{
-			Run: func() any { return sequitur.Analyze(missSymbols(o, wp)) },
+			Label: wp.Name + "/sequitur",
+			Run:   func() any { return sequitur.Analyze(missSymbols(o, wp)) },
 			Collect: func(v any) {
 				a := v.(sequitur.Analysis)
 				res.Coverage.Add(wp.Name, "sequitur", a.Coverage())

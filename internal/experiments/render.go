@@ -19,7 +19,13 @@ func (g *Grid) CSV() string {
 	for _, w := range g.Workloads() {
 		b.WriteString(csvEscape(w))
 		for _, s := range series {
-			fmt.Fprintf(&b, ",%.6f", g.Value(w, s))
+			// A missing cell is an empty field, not 0.000000 — plotting
+			// tools treat the two very differently.
+			if v, ok := g.Lookup(w, s); ok {
+				fmt.Fprintf(&b, ",%.6f", v)
+			} else {
+				b.WriteString(",")
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -61,7 +67,11 @@ func (g *Grid) Bars(width int) string {
 	for _, w := range g.Workloads() {
 		fmt.Fprintf(&b, "%s\n", w)
 		for _, s := range series {
-			v := g.Value(w, s)
+			v, ok := g.Lookup(w, s)
+			if !ok {
+				fmt.Fprintf(&b, "  %-*s %12s\n", label, s, "-")
+				continue
+			}
 			n := int(v / maxV * float64(width))
 			if n < 0 {
 				n = 0

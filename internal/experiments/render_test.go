@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+// renderGrid builds a 2×2 grid with one missing cell — (Web, stms) is
+// never measured — so each renderer's missing-cell convention is pinned.
+func renderGrid() *Grid {
+	g := &Grid{Title: "Coverage"}
+	g.Add("OLTP", "domino", 1.5)
+	g.Add("OLTP", "stms", 0.5)
+	g.Add("Web", "domino", 1.0)
+	return g
+}
+
+func TestTableGolden(t *testing.T) {
+	want := "Coverage\n" +
+		"workload              domino        stms\n" +
+		"OLTP                    1.50        0.50\n" +
+		"Web                     1.00           -\n" +
+		"Mean                    1.25        0.50\n"
+	if got := renderGrid().String(); got != want {
+		t.Fatalf("table:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCSVGolden(t *testing.T) {
+	// The missing cell is an empty field, not 0.000000.
+	want := "workload,domino,stms\n" +
+		"OLTP,1.500000,0.500000\n" +
+		"Web,1.000000,\n"
+	if got := renderGrid().CSV(); got != want {
+		t.Fatalf("csv:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestBarsGolden(t *testing.T) {
+	want := "Coverage\n" +
+		"OLTP\n" +
+		"  domino ####         1.50\n" +
+		"  stms   #         0.50\n" +
+		"Web\n" +
+		"  domino ##         1.00\n" +
+		"  stms              -\n"
+	if got := renderGrid().Bars(4); got != want {
+		t.Fatalf("bars:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCSVEscapesSpecials(t *testing.T) {
+	g := &Grid{Title: "t"}
+	g.Add(`Web "Search", live`, "a,b", 1)
+	want := "workload,\"a,b\"\n" +
+		"\"Web \"\"Search\"\", live\",1.000000\n"
+	if got := g.CSV(); got != want {
+		t.Fatalf("csv escaping:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+func TestPercentGridTableGolden(t *testing.T) {
+	g := &Grid{Title: "Hit rate", Unit: "%"}
+	g.Add("OLTP", "domino", 0.505)
+	want := "Hit rate\n" +
+		"workload              domino\n" +
+		"OLTP                   50.5%\n" +
+		"Mean                   50.5%\n"
+	if got := g.String(); got != want {
+		t.Fatalf("percent table:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

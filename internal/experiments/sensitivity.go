@@ -55,7 +55,8 @@ func Sensitivity(o Options) *SensitivityResult {
 			cfg.Tables.HTEntries = size / max(o.Scale, 1)
 			cfg.Tables.EITRows = 8 << 20 / max(o.Scale, 1) // effectively unbounded
 			jobs = append(jobs, Job{
-				Run: func() any { return runDomino(o, wp, cfg) },
+				Label: wp.Name + "/ht=" + sizeLabel(size, "entries"),
+				Run:   func() any { return runDomino(o, wp, cfg) },
 				Collect: func(v any) {
 					res.HT.Add(wp.Name, sizeLabel(size, "entries"), v.(float64))
 				},
@@ -66,7 +67,8 @@ func Sensitivity(o Options) *SensitivityResult {
 			cfg.Tables.HTEntries = 16 << 20 / max(o.Scale, 1)
 			cfg.Tables.EITRows = rows / max(o.Scale, 1)
 			jobs = append(jobs, Job{
-				Run: func() any { return runDomino(o, wp, cfg) },
+				Label: wp.Name + "/eit=" + sizeLabel(rows, "rows"),
+				Run:   func() any { return runDomino(o, wp, cfg) },
 				Collect: func(v any) {
 					res.EIT.Add(wp.Name, sizeLabel(rows, "rows"), v.(float64))
 				},

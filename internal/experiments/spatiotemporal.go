@@ -21,6 +21,7 @@ func SpatioTemporal(o Options, degree int) *SpatioTemporalResult {
 	for _, wp := range o.workloads() {
 		for _, name := range []string{"vldp", "domino", "vldp+domino"} {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + name,
 				Run: func() any {
 					meter := &dram.Meter{}
 					cfg := prefetch.DefaultEvalConfig()

@@ -41,13 +41,15 @@ func Speedup(o Options, degree int) *SpeedupResult {
 			return timing.Run(o.trace(wp), mc, prefetch.Null{}, &dram.Meter{}, o.Warmup)
 		})
 		jobs = append(jobs, Job{
-			Run: func() any { return baseline() },
+			Label: wp.Name + "/baseline",
+			Run:   func() any { return baseline() },
 			Collect: func(v any) {
 				res.BaselineIPC[wp.Name] = v.(*timing.Result).IPC()
 			},
 		})
 		for _, name := range PrefetcherNames {
 			jobs = append(jobs, Job{
+				Label: wp.Name + "/" + name,
 				Run: func() any {
 					base := baseline()
 					meter := &dram.Meter{}

@@ -31,6 +31,7 @@ func Utilization(o Options, degree int) *UtilizationResult {
 	var jobs []Job
 	for _, wp := range o.workloads() {
 		jobs = append(jobs, Job{
+			Label: wp.Name + "/baseline",
 			Run: func() any {
 				return multicore.Run(wp, multicore.Config{Machine: mc, Accesses: o.Accesses})
 			},
@@ -38,6 +39,7 @@ func Utilization(o Options, degree int) *UtilizationResult {
 				res.BaselineGBps.Add(wp.Name, "baseline", v.(*multicore.Result).BandwidthGBps)
 			},
 		}, Job{
+			Label: wp.Name + "/domino",
 			Run: func() any {
 				cfg := multicore.Config{Machine: mc, Accesses: o.Accesses}
 				cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {

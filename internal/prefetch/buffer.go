@@ -21,6 +21,10 @@ type Buffer struct {
 	issued  uint64
 	used    uint64
 	dropped uint64 // evicted before use
+
+	// onEvict, if set, observes each line dropped before use — capacity
+	// displacements and explicit invalidations — for decision tracing.
+	onEvict func(mem.Line)
 }
 
 type bufEntry struct {
@@ -78,9 +82,16 @@ func (b *Buffer) evictOldest() {
 		delete(b.entries, e.line)
 		e.gone = true
 		b.dropped++
+		if b.onEvict != nil {
+			b.onEvict(e.line)
+		}
 		return
 	}
 }
+
+// OnEvict registers f to observe every line dropped before use. Pass nil
+// to disable.
+func (b *Buffer) OnEvict(f func(mem.Line)) { b.onEvict = f }
 
 // Consume looks up line; on a hit it removes the block (it moves into the
 // L1-D) and returns its issuer tag and true.
@@ -106,6 +117,9 @@ func (b *Buffer) Invalidate(line mem.Line) bool {
 	delete(b.entries, line)
 	e.gone = true
 	b.dropped++
+	if b.onEvict != nil {
+		b.onEvict(line)
+	}
 	return true
 }
 

@@ -1,0 +1,60 @@
+package prefetch
+
+// Decision tracing: a sampled structured record of what the prefetcher
+// did on each triggering event — the trigger itself, every candidate it
+// issued (including the redundant ones the evaluator filtered), and the
+// blocks the new prefetches displaced from the buffer. The trace answers
+// the questions the aggregate Result counters cannot: *why* coverage is
+// what it is — which triggers found a stream, which prefetches were
+// evicted before use, which candidates were wasted re-requests of
+// on-chip lines.
+//
+// Tracing is wired through EvalConfig.Tracer; cmd/dominosim exports it as
+// JSONL via -decision-trace. With no tracer configured the evaluator's
+// hot path pays nothing.
+
+// Decision is one traced prefetcher decision. Field names are chosen for
+// the JSONL export: compact, stable, jq-friendly.
+type Decision struct {
+	// Seq is the index of the triggering event since the start of the
+	// run, counting warmup (warmup decisions are part of the trace: that
+	// is where the metadata tables are learned).
+	Seq uint64 `json:"seq"`
+	// PC and Line identify the triggering access.
+	PC   uint64 `json:"pc"`
+	Line uint64 `json:"line"`
+	// Write reports a store trigger.
+	Write bool `json:"write,omitempty"`
+	// Hit reports a prefetch-buffer hit (a covered miss); Tag carries the
+	// issuer tag the covering prefetch was inserted with.
+	Hit bool   `json:"hit,omitempty"`
+	Tag string `json:"tag,omitempty"`
+	// Issued lists the candidates the prefetcher returned, in issue
+	// order.
+	Issued []IssuedPrefetch `json:"issued,omitempty"`
+	// Evicted lists the lines this decision's prefetches displaced from
+	// the buffer before they were ever consumed — timeliness pressure
+	// made visible.
+	Evicted []uint64 `json:"evicted,omitempty"`
+}
+
+// IssuedPrefetch is one candidate of a traced decision.
+type IssuedPrefetch struct {
+	Line uint64 `json:"line"`
+	Tag  string `json:"tag,omitempty"`
+	// Redundant marks candidates the evaluator dropped because the line
+	// was already on chip (L1-D or buffer resident).
+	Redundant bool `json:"redundant,omitempty"`
+}
+
+// DecisionTracer receives traced decisions. Calls arrive on the
+// goroutine driving the evaluator, in event order.
+type DecisionTracer interface {
+	TraceDecision(Decision)
+}
+
+// TracerFunc adapts a function to the DecisionTracer interface.
+type TracerFunc func(Decision)
+
+// TraceDecision implements DecisionTracer.
+func (f TracerFunc) TraceDecision(d Decision) { f(d) }

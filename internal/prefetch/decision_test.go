@@ -1,0 +1,124 @@
+package prefetch
+
+import (
+	"testing"
+
+	"domino/internal/cache"
+	"domino/internal/mem"
+)
+
+// collectDecisions runs the trace through p with tracing on and returns
+// every recorded decision.
+func collectDecisions(t *testing.T, cfg EvalConfig, p Prefetcher, lines ...mem.Line) []Decision {
+	t.Helper()
+	var out []Decision
+	cfg.Tracer = TracerFunc(func(d Decision) { out = append(out, d) })
+	Run(accesses(lines...), p, cfg)
+	return out
+}
+
+func TestDecisionTraceRecordsTriggersAndCandidates(t *testing.T) {
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 2, Tag: "s"}, {Line: 3, Tag: "s"}},
+	}}
+	// 1 misses and issues 2,3; 2 hits the buffer; 9 misses quietly.
+	decs := collectDecisions(t, smallCfg(), p, 1, 2, 9)
+	if len(decs) != 3 {
+		t.Fatalf("%d decisions, want 3 (every triggering event)", len(decs))
+	}
+	d0 := decs[0]
+	if d0.Seq != 0 || d0.Line != 1 || d0.Hit {
+		t.Fatalf("trigger record wrong: %+v", d0)
+	}
+	if len(d0.Issued) != 2 || d0.Issued[0].Line != 2 || d0.Issued[0].Tag != "s" || d0.Issued[0].Redundant {
+		t.Fatalf("issued records wrong: %+v", d0.Issued)
+	}
+	d1 := decs[1]
+	if d1.Seq != 1 || !d1.Hit || d1.Tag != "s" {
+		t.Fatalf("buffer hit not traced: %+v", d1)
+	}
+	if decs[2].Line != 9 || len(decs[2].Issued) != 0 {
+		t.Fatalf("quiet miss traced wrong: %+v", decs[2])
+	}
+}
+
+func TestDecisionTraceSampling(t *testing.T) {
+	cfg := smallCfg()
+	cfg.TraceEvery = 2
+	var seqs []uint64
+	cfg.Tracer = TracerFunc(func(d Decision) { seqs = append(seqs, d.Seq) })
+	// Four distinct lines: four triggering events, seq 0..3.
+	Run(accesses(1, 2, 3, 4), &scriptPrefetcher{}, cfg)
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 2 {
+		t.Fatalf("sampled seqs = %v, want [0 2]", seqs)
+	}
+}
+
+func TestDecisionTraceRedundantCandidate(t *testing.T) {
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 1}}, // the triggering line itself: L1-resident by issue time
+	}}
+	decs := collectDecisions(t, smallCfg(), p, 1)
+	if len(decs) != 1 || len(decs[0].Issued) != 1 {
+		t.Fatalf("decisions = %+v", decs)
+	}
+	if !decs[0].Issued[0].Redundant {
+		t.Fatal("filtered candidate not marked redundant")
+	}
+}
+
+func TestDecisionTraceEvictions(t *testing.T) {
+	cfg := EvalConfig{
+		L1D:          cache.Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64},
+		BufferBlocks: 1,
+	}
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 100}, {Line: 200}}, // 200 displaces 100 from the 1-block buffer
+	}}
+	decs := collectDecisions(t, cfg, p, 1)
+	if len(decs) != 1 {
+		t.Fatalf("%d decisions, want 1", len(decs))
+	}
+	if len(decs[0].Evicted) != 1 || decs[0].Evicted[0] != 100 {
+		t.Fatalf("Evicted = %v, want [100]", decs[0].Evicted)
+	}
+}
+
+func TestDecisionTraceOffByDefault(t *testing.T) {
+	// No tracer: the evaluator must not count sequence numbers or record
+	// evictions — the disabled path is the measured configuration.
+	e := NewEvaluator(Null{}, smallCfg())
+	e.Step(mem.Access{Addr: mem.Line(1).Addr()})
+	if e.seq != 0 || e.tracing || e.evicted != nil {
+		t.Fatalf("tracing state active without tracer: seq=%d tracing=%v", e.seq, e.tracing)
+	}
+}
+
+// BenchmarkEvaluatorStep is the evaluation hot path with telemetry
+// disabled — the configuration every experiment runs in. Its delta
+// against the seed evaluator is the "≤2% overhead" acceptance bar;
+// BenchmarkEvaluatorStepTraced shows the cost of a 1-in-1024 sampled
+// decision trace.
+func BenchmarkEvaluatorStep(b *testing.B) {
+	benchEvaluatorStep(b, smallCfg())
+}
+
+func BenchmarkEvaluatorStepTraced(b *testing.B) {
+	cfg := smallCfg()
+	cfg.Tracer = TracerFunc(func(Decision) {})
+	cfg.TraceEvery = 1024
+	benchEvaluatorStep(b, cfg)
+}
+
+func benchEvaluatorStep(b *testing.B, cfg EvalConfig) {
+	p := &scriptPrefetcher{script: map[mem.Line][]Candidate{
+		1: {{Line: 2}, {Line: 3}},
+	}}
+	e := NewEvaluator(p, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle far past the 1 KB L1 so most steps are triggering events.
+		e.Step(mem.Access{Addr: mem.Line(i % 4096).Addr()})
+	}
+}

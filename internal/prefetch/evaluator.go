@@ -20,6 +20,14 @@ type EvalConfig struct {
 	// accounts demand and prefetch data traffic; prefetchers account
 	// their own metadata traffic into the same meter.
 	Meter *dram.Meter
+	// Tracer, if non-nil, receives a structured record of sampled
+	// prefetcher decisions (decision.go). Tracing covers warmup too —
+	// that is where the metadata tables are learned.
+	Tracer DecisionTracer
+	// TraceEvery samples the decision trace: every Nth triggering event
+	// is recorded. Values below 1 record every event. Ignored without a
+	// Tracer.
+	TraceEvery int
 }
 
 // DefaultEvalConfig returns the Section IV-D conditions.
@@ -111,6 +119,13 @@ type Evaluator struct {
 	p      Prefetcher
 	res    *Result
 	closed bool
+
+	// Decision tracing (nil tracer = zero work on the hot path).
+	tracer     DecisionTracer
+	traceEvery uint64
+	seq        uint64   // triggering events seen, counted only when tracing
+	tracing    bool     // inside a sampled Step: buffer evictions are recorded
+	evicted    []uint64 // scratch for the current sampled Step
 }
 
 // NewEvaluator builds an evaluator for p under cfg.
@@ -125,7 +140,7 @@ func NewEvaluator(p Prefetcher, cfg EvalConfig) *Evaluator {
 	if meter == nil {
 		meter = &dram.Meter{}
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		cfg: cfg,
 		l1:  cache.New(cfg.L1D),
 		buf: NewBuffer(cfg.BufferBlocks),
@@ -136,6 +151,19 @@ func NewEvaluator(p Prefetcher, cfg EvalConfig) *Evaluator {
 			Meter:      meter,
 		},
 	}
+	if cfg.Tracer != nil {
+		e.tracer = cfg.Tracer
+		e.traceEvery = uint64(cfg.TraceEvery)
+		if e.traceEvery < 1 {
+			e.traceEvery = 1
+		}
+		e.buf.OnEvict(func(l mem.Line) {
+			if e.tracing {
+				e.evicted = append(e.evicted, uint64(l))
+			}
+		})
+	}
+	return e
 }
 
 // Step replays one access. It returns the triggering event delivered to
@@ -175,11 +203,40 @@ func (e *Evaluator) Step(a mem.Access) (Event, bool) {
 		_ = evicted // writeback traffic is modelled in the timing layer
 	}
 
+	var dec Decision
+	if e.tracer != nil {
+		e.seq++
+		if (e.seq-1)%e.traceEvery == 0 {
+			e.tracing = true
+			e.evicted = e.evicted[:0]
+			dec = Decision{
+				Seq:   e.seq - 1,
+				PC:    uint64(a.PC),
+				Line:  uint64(line),
+				Write: a.Write,
+				Hit:   ev.Kind == mem.EventPrefetchHit,
+				Tag:   ev.Tag,
+			}
+		}
+	}
 	for _, c := range e.p.Trigger(ev) {
-		if e.l1.Contains(c.Line) || e.buf.Contains(c.Line) {
+		redundant := e.l1.Contains(c.Line) || e.buf.Contains(c.Line)
+		if e.tracing {
+			dec.Issued = append(dec.Issued, IssuedPrefetch{
+				Line: uint64(c.Line), Tag: c.Tag, Redundant: redundant,
+			})
+		}
+		if redundant {
 			continue // redundant prefetch: already on chip
 		}
 		e.buf.Insert(c.Line, c.Tag)
+	}
+	if e.tracing {
+		e.tracing = false
+		if len(e.evicted) > 0 {
+			dec.Evicted = append([]uint64(nil), e.evicted...)
+		}
+		e.tracer.TraceDecision(dec)
 	}
 	return ev, true
 }

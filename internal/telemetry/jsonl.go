@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes structured events as JSON Lines: one compact object per
+// line, append-only, greppable, loadable with one pandas/jq call. It is
+// safe for concurrent use; the first write error sticks and suppresses
+// further output, so a full disk surfaces once instead of per event.
+type JSONL struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	count int64
+	err   error
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as one line. After an error, Emit is a no-op;
+// check Err once at the end of the run.
+func (j *JSONL) Emit(v any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(v); err != nil {
+		j.err = err
+		return
+	}
+	j.count++
+}
+
+// Count returns the number of events written successfully.
+func (j *JSONL) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.count
+}
+
+// Err returns the first write or encode error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JobObserver receives the experiment engine's per-job lifecycle events.
+// The engine calls JobsQueued once per job batch before any job starts,
+// then JobStarted/JobFinished from worker goroutines; implementations
+// must be safe for concurrent use. Indices are positions within the most
+// recent batch; labels identify the simulation cell ("OLTP/domino").
+type JobObserver interface {
+	JobsQueued(labels []string)
+	JobStarted(index int, label string, worker int)
+	JobFinished(index int, label string, worker int, d time.Duration)
+}
+
+// MultiObserver fans events out to every non-nil observer, in order. It
+// returns nil when none remain, so callers can assign the result directly
+// to an optional Observer field.
+func MultiObserver(obs ...JobObserver) JobObserver {
+	var out multiObserver
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type multiObserver []JobObserver
+
+func (m multiObserver) JobsQueued(labels []string) {
+	for _, o := range m {
+		o.JobsQueued(labels)
+	}
+}
+
+func (m multiObserver) JobStarted(i int, label string, worker int) {
+	for _, o := range m {
+		o.JobStarted(i, label, worker)
+	}
+}
+
+func (m multiObserver) JobFinished(i int, label string, worker int, d time.Duration) {
+	for _, o := range m {
+		o.JobFinished(i, label, worker, d)
+	}
+}
+
+// Progress renders a live single-line progress indicator with an ETA —
+// "\r[done/total] running=N eta 42s  OLTP/domino" — to w (stderr in
+// cmd/dominosim). The line is redrawn on every event and cleared by
+// Finish, so it never mixes with the result tables on stdout.
+type Progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	total   int
+	done    int
+	running int
+	width   int
+
+	// now is replaceable for tests; defaults to time.Now.
+	now func() time.Time
+}
+
+// NewProgress returns a Progress writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, now: time.Now}
+}
+
+// JobsQueued implements JobObserver.
+func (p *Progress) JobsQueued(labels []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = p.now()
+	}
+	p.total += len(labels)
+	p.render("")
+}
+
+// JobStarted implements JobObserver.
+func (p *Progress) JobStarted(_ int, label string, _ int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running++
+	p.render(label)
+}
+
+// JobFinished implements JobObserver.
+func (p *Progress) JobFinished(_ int, label string, _ int, _ time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running--
+	p.done++
+	p.render(label)
+}
+
+// render redraws the progress line; the caller holds p.mu.
+func (p *Progress) render(label string) {
+	eta := "?"
+	if p.done > 0 {
+		elapsed := p.now().Sub(p.start)
+		left := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = left.Round(time.Second).String()
+	}
+	line := fmt.Sprintf("[%d/%d] running=%d eta %s  %s", p.done, p.total, p.running, eta, label)
+	pad := 0
+	if len(line) < p.width {
+		pad = p.width - len(line)
+	}
+	p.width = len(line)
+	fmt.Fprintf(p.w, "\r%s%s", line, strings.Repeat(" ", pad))
+}
+
+// Finish clears the progress line and prints a one-line summary. Call it
+// after the run, before printing any further stderr reports.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.width > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.width))
+	}
+	if p.total > 0 {
+		fmt.Fprintf(p.w, "%d jobs in %s\n", p.done, p.now().Sub(p.start).Round(time.Millisecond))
+	}
+}
+
+// Timing records every job's wall time and renders a per-cell table after
+// the run — the "-timing" view: which simulation cells dominate the wall
+// clock, and how evenly the workers were loaded.
+type Timing struct {
+	mu    sync.Mutex
+	start time.Time
+	base  int // index offset of the current batch
+	batch int // size of the current batch
+	rows  []timingRow
+
+	now func() time.Time
+}
+
+type timingRow struct {
+	index  int
+	label  string
+	worker int
+	d      time.Duration
+}
+
+// NewTiming returns an empty Timing collector.
+func NewTiming() *Timing {
+	return &Timing{now: time.Now}
+}
+
+// JobsQueued implements JobObserver.
+func (t *Timing) JobsQueued(labels []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		t.start = t.now()
+	}
+	t.base += t.batch
+	t.batch = len(labels)
+}
+
+// JobStarted implements JobObserver.
+func (t *Timing) JobStarted(int, string, int) {}
+
+// JobFinished implements JobObserver.
+func (t *Timing) JobFinished(i int, label string, worker int, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, timingRow{index: t.base + i, label: label, worker: worker, d: d})
+}
+
+// WriteTable renders the per-job wall times in job order, with the summed
+// job time and the elapsed wall time (their ratio is the effective
+// parallelism).
+func (t *Timing) WriteTable(w io.Writer) {
+	t.mu.Lock()
+	rows := append([]timingRow(nil), t.rows...)
+	start := t.start
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].index < rows[j].index })
+
+	width := len("job")
+	for _, r := range rows {
+		if len(r.label) > width {
+			width = len(r.label)
+		}
+	}
+	fmt.Fprintf(w, "%-*s %7s %12s\n", width, "job", "worker", "time")
+	var sum time.Duration
+	for _, r := range rows {
+		sum += r.d
+		fmt.Fprintf(w, "%-*s %7d %12s\n", width, r.label, r.worker, r.d.Round(time.Microsecond))
+	}
+	wall := time.Duration(0)
+	if !start.IsZero() {
+		wall = t.now().Sub(start)
+	}
+	fmt.Fprintf(w, "%-*s %7d %12s (wall %s)\n", width, "total", len(rows), sum.Round(time.Microsecond), wall.Round(time.Millisecond))
+}

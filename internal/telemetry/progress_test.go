@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out instants 1 s apart, making ETA and wall times
+// deterministic in tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time {
+	f.t = f.t.Add(time.Second)
+	return f.t
+}
+
+func TestProgressRendersCountsAndETA(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb)
+	p.now = (&fakeClock{}).now
+
+	p.JobsQueued([]string{"a", "b"})
+	p.JobStarted(0, "a", 0)
+	p.JobFinished(0, "a", 0, time.Second)
+	p.JobStarted(1, "b", 0)
+	p.JobFinished(1, "b", 0, time.Second)
+	p.Finish()
+
+	out := sb.String()
+	if !strings.Contains(out, "[0/2]") || !strings.Contains(out, "[2/2]") {
+		t.Fatalf("missing progress counts:\n%q", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Fatalf("missing eta:\n%q", out)
+	}
+	if !strings.Contains(out, "2 jobs in") {
+		t.Fatalf("missing summary:\n%q", out)
+	}
+	// The live line is carriage-return animated, never newline spam.
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("%d newlines, want exactly 1 (the summary):\n%q", n, out)
+	}
+}
+
+func TestProgressAccumulatesBatches(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb)
+	p.now = (&fakeClock{}).now
+	p.JobsQueued([]string{"a"})
+	p.JobsQueued([]string{"b", "c"})
+	p.JobFinished(0, "a", 0, time.Second)
+	if !strings.Contains(sb.String(), "[1/3]") {
+		t.Fatalf("batches not accumulated:\n%q", sb.String())
+	}
+}
+
+func TestTimingTableOrderedByJob(t *testing.T) {
+	tm := NewTiming()
+	tm.now = (&fakeClock{}).now
+	tm.JobsQueued([]string{"w1/a", "w1/b"})
+	// Finish out of order: the table must come out in job order anyway.
+	tm.JobFinished(1, "w1/b", 3, 20*time.Millisecond)
+	tm.JobFinished(0, "w1/a", 1, 10*time.Millisecond)
+	// A second batch lands after the first.
+	tm.JobsQueued([]string{"w2/a"})
+	tm.JobFinished(0, "w2/a", 0, 5*time.Millisecond)
+
+	var sb strings.Builder
+	tm.WriteTable(&sb)
+	out := sb.String()
+	ia, ib, ic := strings.Index(out, "w1/a"), strings.Index(out, "w1/b"), strings.Index(out, "w2/a")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("rows out of job order:\n%s", out)
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "wall") {
+		t.Fatalf("missing totals:\n%s", out)
+	}
+	if !strings.Contains(out, "35ms") {
+		t.Fatalf("summed job time missing:\n%s", out)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	if MultiObserver() != nil {
+		t.Fatal("empty MultiObserver should be nil")
+	}
+	if MultiObserver(nil, nil) != nil {
+		t.Fatal("all-nil MultiObserver should be nil")
+	}
+	p := NewProgress(&strings.Builder{})
+	if MultiObserver(nil, p) != JobObserver(p) {
+		t.Fatal("single observer should be returned unwrapped")
+	}
+	tm := NewTiming()
+	m := MultiObserver(p, tm)
+	m.JobsQueued([]string{"x"})
+	m.JobStarted(0, "x", 0)
+	m.JobFinished(0, "x", 0, time.Millisecond)
+	if len(tm.rows) != 1 {
+		t.Fatal("fan-out did not reach the timing collector")
+	}
+	if p.done != 1 {
+		t.Fatal("fan-out did not reach the progress renderer")
+	}
+}

@@ -1,0 +1,262 @@
+// Package telemetry is the observability layer shared by the experiment
+// engine, the evaluation framework and cmd/dominosim: a lightweight
+// metrics registry (counters, gauges, wall-clock timers with named,
+// ordered snapshots), live per-job progress and wall-time reporting for
+// the parallel experiment engine, and a JSONL sink for structured event
+// traces.
+//
+// Everything in this package is optional and cheap to leave disabled:
+// every metric method is safe on a nil receiver and compiles to a single
+// branch, so instrumented code holds plain (possibly nil) pointers and
+// never checks an "enabled" flag itself. Telemetry output goes to stderr
+// or to files chosen by the caller — never to stdout, which the engine
+// keeps byte-identical at every parallelism setting.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil *Counter is a no-op sink.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric. The zero value is ready to use; a
+// nil *Gauge is a no-op sink.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the last value set (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates wall-clock durations: count, total, min and max. The
+// zero value is ready to use; a nil *Timer is a no-op sink.
+type Timer struct {
+	mu       sync.Mutex
+	count    int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.count++
+	t.total += d
+	if t.count == 1 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.mu.Unlock()
+}
+
+// Start begins timing and returns the function that stops it. Usable as
+// `defer t.Start()()`; on a nil timer the returned stop is a no-op.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.Observe(time.Since(t0)) }
+}
+
+// TimerStats is a timer snapshot, in nanoseconds for JSON portability.
+type TimerStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// Stats returns a consistent snapshot of the timer.
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerStats{
+		Count:   t.count,
+		TotalNS: t.total.Nanoseconds(),
+		MinNS:   t.min.Nanoseconds(),
+		MaxNS:   t.max.Nanoseconds(),
+	}
+	if t.count > 0 {
+		s.MeanNS = s.TotalNS / t.count
+	}
+	return s
+}
+
+// Metric is one named entry of a registry snapshot.
+type Metric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge" or "timer"
+	// Value carries counter and gauge readings (pointer so a measured
+	// zero survives omitempty).
+	Value *int64      `json:"value,omitempty"`
+	Timer *TimerStats `json:"timer,omitempty"`
+}
+
+// Registry hands out named metrics and snapshots them in registration
+// order. A nil *Registry hands out nil metrics, so code instrumented
+// against a registry it may not have runs at no-op cost. Registry is safe
+// for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries []regEntry
+	index   map[string]int
+}
+
+type regEntry struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	t    *Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Requesting a name that is registered as a different metric
+// kind panics: two subsystems disagreeing about a name is a programming
+// error that silent aliasing would hide.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, func() regEntry { return regEntry{name: name, c: &Counter{}} })
+	if e.c == nil {
+		panic("telemetry: metric " + name + " already registered with a different kind")
+	}
+	return e.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, func() regEntry { return regEntry{name: name, g: &Gauge{}} })
+	if e.g == nil {
+		panic("telemetry: metric " + name + " already registered with a different kind")
+	}
+	return e.g
+}
+
+// Timer returns the timer registered under name, creating it on first
+// use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, func() regEntry { return regEntry{name: name, t: &Timer{}} })
+	if e.t == nil {
+		panic("telemetry: metric " + name + " already registered with a different kind")
+	}
+	return e.t
+}
+
+func (r *Registry) lookup(name string, create func() regEntry) regEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.index[name]; ok {
+		return r.entries[i]
+	}
+	e := create()
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Snapshot returns every metric in registration order.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := append([]regEntry(nil), r.entries...)
+	r.mu.Unlock()
+	out := make([]Metric, 0, len(entries))
+	for _, e := range entries {
+		m := Metric{Name: e.name}
+		switch {
+		case e.c != nil:
+			m.Kind = "counter"
+			v := e.c.Value()
+			m.Value = &v
+		case e.g != nil:
+			m.Kind = "gauge"
+			v := e.g.Value()
+			m.Value = &v
+		case e.t != nil:
+			m.Kind = "timer"
+			s := e.t.Stats()
+			m.Timer = &s
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON dumps the registry as an indented JSON document:
+//
+//	{"metrics": [{"name": ..., "kind": ..., ...}, ...]}
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []Metric{}
+	}
+	doc := struct {
+		Metrics []Metric `json:"metrics"`
+	}{snap}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
