@@ -8,6 +8,7 @@ package domino
 // full-scale numbers.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -38,7 +39,7 @@ func BenchmarkFig01Opportunity(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Opportunity(o)
+		r := experiments.Opportunity(context.Background(), o)
 		b.ReportMetric(r.Coverage.Mean("sequitur")*100, "opportunity_%")
 		b.ReportMetric(r.Coverage.Mean("stms")*100, "stms_cov_%")
 	}
@@ -48,7 +49,7 @@ func BenchmarkFig02StreamLength(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Opportunity(o)
+		r := experiments.Opportunity(context.Background(), o)
 		b.ReportMetric(r.StreamLength.Mean("sequitur"), "seq_stream")
 		b.ReportMetric(r.StreamLength.Mean("stms"), "stms_stream")
 		b.ReportMetric(r.StreamLength.Mean("digram"), "digram_stream")
@@ -59,7 +60,7 @@ func BenchmarkFig03LookupAccuracy(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Lookup(o)
+		r := experiments.Lookup(context.Background(), o)
 		b.ReportMetric(r.Accuracy.Mean("1-addr")*100, "acc1_%")
 		b.ReportMetric(r.Accuracy.Mean("2-addr")*100, "acc2_%")
 		b.ReportMetric(r.Accuracy.Mean("3-addr")*100, "acc3_%")
@@ -70,7 +71,7 @@ func BenchmarkFig04LookupMatch(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Lookup(o)
+		r := experiments.Lookup(context.Background(), o)
 		b.ReportMetric(r.MatchRate.Mean("1-addr")*100, "match1_%")
 		b.ReportMetric(r.MatchRate.Mean("2-addr")*100, "match2_%")
 	}
@@ -80,7 +81,7 @@ func BenchmarkFig05VaryLookup(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Lookup(o)
+		r := experiments.Lookup(context.Background(), o)
 		b.ReportMetric(r.Coverage.Mean("1-addr")*100, "cov1_%")
 		b.ReportMetric(r.Coverage.Mean("2-addr")*100, "cov2_%")
 		b.ReportMetric(r.Coverage.Mean("5-addr")*100, "cov5_%")
@@ -91,7 +92,7 @@ func BenchmarkFig09HTSweep(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = []string{"OLTP"}
 	for i := 0; i < b.N; i++ {
-		r := experiments.Sensitivity(o)
+		r := experiments.Sensitivity(context.Background(), o)
 		series := r.HT.Series()
 		b.ReportMetric(r.HT.Mean(series[0])*100, "cov_smallHT_%")
 		b.ReportMetric(r.HT.Mean(series[len(series)-1])*100, "cov_bigHT_%")
@@ -102,7 +103,7 @@ func BenchmarkFig10EITSweep(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = []string{"OLTP"}
 	for i := 0; i < b.N; i++ {
-		r := experiments.Sensitivity(o)
+		r := experiments.Sensitivity(context.Background(), o)
 		series := r.EIT.Series()
 		b.ReportMetric(r.EIT.Mean(series[0])*100, "cov_smallEIT_%")
 		b.ReportMetric(r.EIT.Mean(series[len(series)-1])*100, "cov_bigEIT_%")
@@ -113,7 +114,7 @@ func BenchmarkFig11Degree1(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Comparison(o, 1, true)
+		r := experiments.Comparison(context.Background(), o, 1, true)
 		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 		b.ReportMetric(r.Coverage.Mean("stms")*100, "stms_%")
 		b.ReportMetric(r.Coverage.Mean("sequitur")*100, "oracle_%")
@@ -124,7 +125,7 @@ func BenchmarkFig12Histogram(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Opportunity(o)
+		r := experiments.Opportunity(context.Background(), o)
 		h := r.Histograms[o.Workloads[0]]
 		b.ReportMetric(h.FractionAtOrBelow(2)*100, "streams_le2_%")
 	}
@@ -134,7 +135,7 @@ func BenchmarkFig13Degree4(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Comparison(o, 4, false)
+		r := experiments.Comparison(context.Background(), o, 4, false)
 		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 		b.ReportMetric(r.Overpredictions.Mean("stms")*100, "stms_over_%")
 		b.ReportMetric(r.Overpredictions.Mean("domino")*100, "domino_over_%")
@@ -145,7 +146,7 @@ func BenchmarkFig14Speedup(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Speedup(o, 4)
+		r := experiments.Speedup(context.Background(), o, 4)
 		b.ReportMetric(r.GMean["domino"], "domino_x")
 		b.ReportMetric(r.GMean["stms"], "stms_x")
 	}
@@ -155,7 +156,7 @@ func BenchmarkFig15Bandwidth(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Bandwidth(o, 4)
+		r := experiments.Bandwidth(context.Background(), o, 4)
 		b.ReportMetric(r.Overhead.Value("stms", "total")*100, "stms_ovh_%")
 		b.ReportMetric(r.Overhead.Value("domino", "total")*100, "domino_ovh_%")
 	}
@@ -165,7 +166,7 @@ func BenchmarkFig16SpatioTemporal(b *testing.B) {
 	o := benchOptions()
 	o.Workloads = benchWorkloads()
 	for i := 0; i < b.N; i++ {
-		r := experiments.SpatioTemporal(o, 4)
+		r := experiments.SpatioTemporal(context.Background(), o, 4)
 		b.ReportMetric(r.Coverage.Mean("vldp+domino")*100, "stacked_%")
 		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 	}
@@ -279,7 +280,7 @@ func BenchmarkEngineSerial(b *testing.B) {
 	o.Workloads = benchWorkloads()
 	o.Parallelism = 1
 	for i := 0; i < b.N; i++ {
-		r := experiments.Comparison(o, 4, false)
+		r := experiments.Comparison(context.Background(), o, 4, false)
 		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 	}
 }
@@ -290,7 +291,7 @@ func BenchmarkEngineParallel(b *testing.B) {
 	o.Parallelism = runtime.GOMAXPROCS(0)
 	b.ReportMetric(float64(o.Parallelism), "workers")
 	for i := 0; i < b.N; i++ {
-		r := experiments.Comparison(o, 4, false)
+		r := experiments.Comparison(context.Background(), o, 4, false)
 		b.ReportMetric(r.Coverage.Mean("domino")*100, "domino_%")
 	}
 }

@@ -19,6 +19,19 @@
 //	dominosim -exp fig14 -metrics m.json    # metrics registry dump at exit
 //	dominosim -exp fig14 -cpuprofile cpu.pb # runtime profiles (go tool pprof)
 //
+// Resilience: sweeps degrade rather than die. A simulation cell that
+// panics (or exceeds -job-timeout) renders as "-" in the tables and the
+// run exits 1 after finishing everything else; -fault-policy failfast
+// restores the old crash-on-first-failure behaviour. SIGINT/SIGTERM stop
+// the sweep cleanly: in-flight cells drain, finished cells print, and the
+// run exits 3. With -checkpoint the finished cells also persist to a JSONL
+// file, and rerunning with the same flags resumes from it instead of
+// re-simulating:
+//
+//	dominosim -exp fig14 -checkpoint fig14.ckpt   # ^C, then rerun to resume
+//	dominosim -exp fig14 -job-timeout 5m
+//	dominosim -exp fig14 -fault-policy failfast
+//
 // Evaluate one prefetcher on one workload, optionally tracing its
 // decisions as JSONL:
 //
@@ -36,13 +49,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"domino"
 	"domino/internal/prefetch"
@@ -50,13 +67,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is main, testably: flags from args, results to stdout, telemetry
-// and errors to stderr, exit code returned (0 ok, 1 runtime error,
-// 2 usage error).
-func run(args []string, stdout, stderr io.Writer) int {
+// and errors to stderr, exit code returned (0 ok, 1 runtime error —
+// including failed cells under the degrading fault policy, 2 usage error,
+// 3 interrupted). Cancelling ctx stops the sweep after the in-flight cells
+// drain.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dominosim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -76,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		samples     = fs.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
 		format      = fs.String("format", "table", "with -exp: output format (table, csv, bars)")
 
+		checkpointF = fs.String("checkpoint", "", "with -exp: persist finished cells to this JSONL file and resume from it on rerun")
+		faultPolicy = fs.String("fault-policy", "degrade", "what to do when a simulation cell fails: degrade (render \"-\", finish the sweep) or failfast")
+		jobTimeout  = fs.Duration("job-timeout", 0, "per-cell wall-time budget; an over-budget cell counts as failed (0 = no limit)")
+
 		progressF  = fs.Bool("progress", false, "render live per-job progress and ETA to stderr")
 		timingF    = fs.Bool("timing", false, "print a per-cell wall-time table to stderr after the run")
 		metricsF   = fs.String("metrics", "", "write a JSON dump of the metrics registry to this file at exit")
@@ -93,6 +118,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *decTraceF != "" && !*evalMode {
 		fmt.Fprintln(stderr, "dominosim: -decision-trace requires -eval (decisions are traced per evaluation, not per experiment)")
+		return 2
+	}
+	if *checkpointF != "" && *exp == "" {
+		fmt.Fprintln(stderr, "dominosim: -checkpoint requires -exp (only experiment sweeps have resumable cells)")
+		return 2
+	}
+	var policy domino.FaultPolicy
+	switch *faultPolicy {
+	case "degrade":
+		policy = domino.Degrade
+	case "failfast":
+		policy = domino.FailFast
+	default:
+		fmt.Fprintf(stderr, "dominosim: invalid -fault-policy %q (have degrade, failfast)\n", *faultPolicy)
+		return 2
+	}
+	if *jobTimeout < 0 {
+		fmt.Fprintf(stderr, "dominosim: invalid -job-timeout %v: must be >= 0\n", *jobTimeout)
 		return 2
 	}
 
@@ -125,7 +168,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	o := domino.Options{Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale, Parallelism: *jobs}
+	o := domino.Options{
+		Degree: *degree, Accesses: *accesses, Warmup: *warmup, Scale: *scale,
+		Parallelism:    *jobs,
+		FaultPolicy:    policy,
+		JobTimeout:     *jobTimeout,
+		CheckpointPath: *checkpointF,
+	}
 
 	var progress *telemetry.Progress
 	var timing *telemetry.Timing
@@ -139,9 +188,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		observers = append(observers, timing)
 	}
 	o.Observer = telemetry.MultiObserver(observers...)
-	if *metricsF != "" {
-		o.Metrics = telemetry.New()
-	}
+	// The registry is always on: the engine's failure/skip counters decide
+	// the exit code and the end-of-run summary, not just the -metrics dump.
+	o.Metrics = telemetry.New()
 
 	var decisions *telemetry.JSONL
 	if *decTraceF != "" {
@@ -156,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	stopWall := o.Metrics.Timer("run.wall").Start()
-	err := dispatch(o, stdout,
+	err := dispatch(ctx, o, stdout,
 		*list, *exp, *evalMode, *speedup, *opportunity,
 		*workloadF, *prefetcher, *traceFile, *samples, *format)
 	stopWall()
@@ -175,6 +224,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stderr, "dominosim:", err)
 		code = 1
+	}
+	// Resilience summary: failed cells (degrading fault policy) make the
+	// run exit nonzero even though the tables printed; an interrupt that
+	// skipped cells exits 3 so scripts can tell "partial by signal" from
+	// "partial by failure". Restored counts surface resumes from
+	// -checkpoint.
+	if failed := o.Metrics.Counter("engine.jobs_failed").Value(); failed > 0 {
+		fmt.Fprintf(stderr, "dominosim: %d simulation cell(s) failed; their table cells render as \"-\"\n", failed)
+		code = 1
+	}
+	if restored := o.Metrics.Counter("engine.jobs_restored").Value(); restored > 0 {
+		fmt.Fprintf(stderr, "dominosim: %d cell(s) restored from checkpoint %s\n", restored, *checkpointF)
+	}
+	if skipped := o.Metrics.Counter("engine.jobs_skipped").Value(); skipped > 0 && ctx.Err() != nil {
+		fmt.Fprintf(stderr, "dominosim: interrupted: %d cell(s) not run; finished cells are rendered", skipped)
+		if *checkpointF != "" {
+			fmt.Fprintf(stderr, " and saved to %s (rerun the same command to resume)", *checkpointF)
+		}
+		fmt.Fprintln(stderr)
+		code = 3
 	}
 	if decisions != nil {
 		o.Metrics.Counter("trace.decisions").Add(decisions.Count())
@@ -196,7 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 var errUsage = fmt.Errorf("usage")
 
 // dispatch executes the selected mode, writing results to stdout.
-func dispatch(o domino.Options, stdout io.Writer,
+func dispatch(ctx context.Context, o domino.Options, stdout io.Writer,
 	list bool, exp string, evalMode, speedup, opportunity bool,
 	workloadF, prefetcher, traceFile string, samples int, format string) error {
 	switch {
@@ -209,7 +278,7 @@ func dispatch(o domino.Options, stdout io.Writer,
 		if workloadF != "" {
 			ws = []string{workloadF}
 		}
-		out, err := domino.RunExperimentFormat(domino.Experiment(exp), o, domino.Format(format), ws...)
+		out, err := domino.RunExperimentFormatContext(ctx, domino.Experiment(exp), o, domino.Format(format), ws...)
 		if err != nil {
 			return err
 		}
@@ -271,13 +340,23 @@ func dispatch(o domino.Options, stdout io.Writer,
 	return nil
 }
 
+// writeMetrics dumps the registry atomically: written to a temp file in
+// the target directory and renamed into place, so a crash mid-dump never
+// leaves a truncated JSON document where a previous complete one was.
 func writeMetrics(path string, reg *telemetry.Registry) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return reg.WriteJSON(f)
+	defer os.Remove(f.Name()) // no-op after a successful rename
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func pick(workload string) []string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -18,7 +19,7 @@ func tiny(extra ...string) []string {
 
 func TestRejectsNegativeJobs(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{"-exp", "fig1", "-j", "-3"}, &out, &errb)
+	code := run(context.Background(), []string{"-exp", "fig1", "-j", "-3"}, &out, &errb)
 	if code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
@@ -32,7 +33,7 @@ func TestRejectsNegativeJobs(t *testing.T) {
 
 func TestDecisionTraceRequiresEval(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{"-exp", "fig1", "-decision-trace", "x.jsonl"}, &out, &errb)
+	code := run(context.Background(), []string{"-exp", "fig1", "-decision-trace", "x.jsonl"}, &out, &errb)
 	if code != 2 || !strings.Contains(errb.String(), "-decision-trace requires -eval") {
 		t.Fatalf("code=%d stderr=%q", code, errb.String())
 	}
@@ -40,11 +41,108 @@ func TestDecisionTraceRequiresEval(t *testing.T) {
 
 func TestNoModeIsUsageError(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "Usage") && !strings.Contains(errb.String(), "-exp") {
 		t.Fatalf("no usage on stderr: %q", errb.String())
+	}
+}
+
+func TestCheckpointRequiresExp(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-eval", "-checkpoint", "x.ckpt"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "-checkpoint requires -exp") {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestRejectsUnknownFaultPolicy(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-exp", "fig1", "-fault-policy", "explode"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), `invalid -fault-policy "explode"`) {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestRejectsNegativeJobTimeout(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-exp", "fig1", "-job-timeout", "-5s"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "invalid -job-timeout") {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+// TestInterruptedRunExitsThree delivers the cancellation before the sweep
+// starts — the deterministic limit of a Ctrl-C mid-run. Every cell is
+// skipped, the tables still render (all "-"), and the exit code is 3 so
+// scripts can tell an interrupt from a failure.
+func TestInterruptedRunExitsThree(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, tiny("-exp", "fig9"), &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Fatalf("stderr = %q, want interrupt summary", errb.String())
+	}
+	if !strings.Contains(out.String(), "workload") {
+		t.Fatalf("interrupted run should still render its (empty) tables:\n%s", out.String())
+	}
+
+	// With a checkpoint attached, the summary points at the resume path.
+	ckpt := filepath.Join(t.TempDir(), "f.ckpt")
+	var out2, errb2 strings.Builder
+	if code := run(ctx, tiny("-exp", "fig9", "-checkpoint", ckpt), &out2, &errb2); code != 3 {
+		t.Fatalf("exit code = %d, want 3", code)
+	}
+	if !strings.Contains(errb2.String(), "rerun the same command to resume") {
+		t.Fatalf("stderr = %q, want resume hint", errb2.String())
+	}
+}
+
+// TestCheckpointResumeCLI proves the user-facing resume contract: a
+// checkpointed run and its resumed rerun print byte-identical stdout, and
+// the rerun simulates nothing — every cell restores.
+func TestCheckpointResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var ref, refErr strings.Builder
+	if code := run(context.Background(), tiny("-exp", "fig9"), &ref, &refErr); code != 0 {
+		t.Fatalf("reference run failed (%d): %s", code, refErr.String())
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "fig9.ckpt")
+	var first, firstErr strings.Builder
+	if code := run(context.Background(), tiny("-exp", "fig9", "-checkpoint", ckpt), &first, &firstErr); code != 0 {
+		t.Fatalf("checkpointed run failed (%d): %s", code, firstErr.String())
+	}
+	if first.String() != ref.String() {
+		t.Fatalf("checkpointing changed stdout:\n--- ref ---\n%s--- checkpointed ---\n%s", ref.String(), first.String())
+	}
+
+	var second, secondErr strings.Builder
+	if code := run(context.Background(), tiny("-exp", "fig9", "-checkpoint", ckpt), &second, &secondErr); code != 0 {
+		t.Fatalf("resumed run failed (%d): %s", code, secondErr.String())
+	}
+	if second.String() != ref.String() {
+		t.Fatalf("resumed stdout differs:\n--- ref ---\n%s--- resumed ---\n%s", ref.String(), second.String())
+	}
+	if !strings.Contains(secondErr.String(), "restored from checkpoint") {
+		t.Fatalf("stderr = %q, want restore summary", secondErr.String())
+	}
+
+	// The same file under different sweep flags must be refused, not
+	// silently grafted onto the wrong configuration.
+	var out, errb strings.Builder
+	if code := run(context.Background(), tiny("-exp", "fig9", "-checkpoint", ckpt, "-accesses", "40000"), &out, &errb); code != 1 {
+		t.Fatalf("mismatched checkpoint exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "different sweep configuration") {
+		t.Fatalf("stderr = %q, want fingerprint mismatch", errb.String())
 	}
 }
 
@@ -57,13 +155,13 @@ func TestExperimentTelemetrySmoke(t *testing.T) {
 		t.Skip("runs a real experiment")
 	}
 	var plain, plainErr strings.Builder
-	if code := run(tiny("-exp", "fig2", "-j", "1"), &plain, &plainErr); code != 0 {
+	if code := run(context.Background(), tiny("-exp", "fig2", "-j", "1"), &plain, &plainErr); code != 0 {
 		t.Fatalf("plain run failed (%d): %s", code, plainErr.String())
 	}
 
 	metrics := filepath.Join(t.TempDir(), "m.json")
 	var out, errb strings.Builder
-	code := run(tiny("-exp", "fig2", "-j", "8", "-progress", "-timing", "-metrics", metrics), &out, &errb)
+	code := run(context.Background(), tiny("-exp", "fig2", "-j", "8", "-progress", "-timing", "-metrics", metrics), &out, &errb)
 	if code != 0 {
 		t.Fatalf("telemetry run failed (%d): %s", code, errb.String())
 	}
@@ -106,7 +204,7 @@ func TestEvalDecisionTraceSmoke(t *testing.T) {
 	trace := filepath.Join(t.TempDir(), "d.jsonl")
 	metrics := filepath.Join(t.TempDir(), "m.json")
 	var out, errb strings.Builder
-	code := run(tiny("-eval", "-prefetcher", "domino",
+	code := run(context.Background(), tiny("-eval", "-prefetcher", "domino",
 		"-decision-trace", trace, "-decision-sample", "64", "-metrics", metrics), &out, &errb)
 	if code != 0 {
 		t.Fatalf("run failed (%d): %s", code, errb.String())
@@ -147,7 +245,7 @@ func TestProfilesWritten(t *testing.T) {
 	dir := t.TempDir()
 	cpu, heap := filepath.Join(dir, "cpu.pb"), filepath.Join(dir, "heap.pb")
 	var out, errb strings.Builder
-	code := run(tiny("-eval", "-cpuprofile", cpu, "-memprofile", heap), &out, &errb)
+	code := run(context.Background(), tiny("-eval", "-cpuprofile", cpu, "-memprofile", heap), &out, &errb)
 	if code != 0 {
 		t.Fatalf("run failed (%d): %s", code, errb.String())
 	}

@@ -22,6 +22,7 @@ package domino
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"domino/internal/dram"
 	"domino/internal/experiments"
@@ -99,7 +100,33 @@ type Options struct {
 	// DecisionSample records every Nth triggering event when
 	// DecisionTracer is set; values below 1 record every event.
 	DecisionSample int
+	// FaultPolicy selects what experiments do when a simulation cell
+	// panics or times out: FailFast (the zero value) re-raises the first
+	// failure in job order; Degrade records the failure, renders the cell
+	// as "-", and lets the rest of the sweep finish (cmd/dominosim's
+	// default).
+	FaultPolicy FaultPolicy
+	// JobTimeout, when positive, bounds each simulation cell's wall time;
+	// a cell exceeding it counts as failed under FaultPolicy.
+	JobTimeout time.Duration
+	// CheckpointPath, when non-empty, persists completed cells of
+	// RunExperiment/RunExperimentFormat runs to a JSONL file and restores
+	// them on a rerun with the same configuration, so an interrupted
+	// sweep resumes instead of restarting (cmd/dominosim's -checkpoint).
+	CheckpointPath string
 }
+
+// FaultPolicy selects how experiment sweeps react to failing cells.
+type FaultPolicy int
+
+const (
+	// FailFast re-raises the first cell failure in job order, the
+	// historical behaviour.
+	FailFast FaultPolicy = iota
+	// Degrade drops failed cells from the rendered grids ("-") and lets
+	// the sweep finish.
+	Degrade
+)
 
 // DefaultOptions is laptop scale: 2 M accesses, half warmup, tables /16,
 // degree 4.
@@ -141,6 +168,8 @@ func (o Options) experimentOptions(workloads ...string) experiments.Options {
 		Parallelism: o.Parallelism,
 		Observer:    o.Observer,
 		Metrics:     o.Metrics,
+		FaultPolicy: experiments.FaultPolicy(o.FaultPolicy),
+		JobTimeout:  o.JobTimeout,
 	}
 }
 

@@ -1,6 +1,7 @@
 package domino
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -57,34 +58,58 @@ func Experiments() []Experiment {
 // and returns the rendered result tables. workloads narrows the run; empty
 // means all nine.
 func RunExperiment(exp Experiment, o Options, workloads ...string) (string, error) {
+	return RunExperimentContext(context.Background(), exp, o, workloads...)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: when ctx is
+// cancelled mid-sweep, the engine stops dispatching cells, drains the ones
+// in flight, and the returned tables render every unfinished cell as "-".
+// It also owns the checkpoint lifecycle when Options.CheckpointPath is set:
+// the file is opened (or resumed) before the sweep and closed after, and a
+// checkpoint write error surfaces in the returned error even when the
+// sweep itself succeeded.
+func RunExperimentContext(ctx context.Context, exp Experiment, o Options, workloads ...string) (string, error) {
 	o = o.normalised()
-	eo := o.experimentOptions(workloads...)
+	eo, cleanup, err := o.engineOptions(exp, workloads...)
+	if err != nil {
+		return "", err
+	}
+	out, err := runExperiment(ctx, exp, o, eo, workloads...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	return out, err
+}
+
+// runExperiment dispatches on the experiment id with engine options already
+// assembled (checkpoint attached, fault policy mapped).
+func runExperiment(ctx context.Context, exp Experiment, o Options, eo experiments.Options, workloads ...string) (string, error) {
 	switch exp {
 	case ExpFig1Opportunity:
-		return experiments.Opportunity(eo).Coverage.String(), nil
+		return experiments.Opportunity(ctx, eo).Coverage.String(), nil
 	case ExpFig2StreamLength:
-		return experiments.Opportunity(eo).StreamLength.String(), nil
+		return experiments.Opportunity(ctx, eo).StreamLength.String(), nil
 	case ExpFig3LookupAccuracy:
-		return experiments.Lookup(eo).Accuracy.String(), nil
+		return experiments.Lookup(ctx, eo).Accuracy.String(), nil
 	case ExpFig4LookupMatch:
-		return experiments.Lookup(eo).MatchRate.String(), nil
+		return experiments.Lookup(ctx, eo).MatchRate.String(), nil
 	case ExpFig5VaryLookup:
-		r := experiments.Lookup(eo)
+		r := experiments.Lookup(ctx, eo)
 		return r.Coverage.String() + "\n" + r.Overpred.String(), nil
 	case ExpFig9HTSweep:
-		return experiments.Sensitivity(eo).HT.String(), nil
+		return experiments.Sensitivity(ctx, eo).HT.String(), nil
 	case ExpFig10EITSweep:
-		return experiments.Sensitivity(eo).EIT.String(), nil
+		return experiments.Sensitivity(ctx, eo).EIT.String(), nil
 	case ExpFig11Degree1:
-		r := experiments.Comparison(eo, 1, true)
+		r := experiments.Comparison(ctx, eo, 1, true)
 		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
 	case ExpFig12Histogram:
-		return experiments.Opportunity(eo).HistogramTable(), nil
+		return experiments.Opportunity(ctx, eo).HistogramTable(), nil
 	case ExpFig13Degree4:
-		r := experiments.Comparison(eo, 4, false)
+		r := experiments.Comparison(ctx, eo, 4, false)
 		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
 	case ExpFig14Speedup:
-		r := experiments.Speedup(eo, 4)
+		r := experiments.Speedup(ctx, eo, 4)
 		var b strings.Builder
 		b.WriteString(r.Speedup.String())
 		names := make([]string, 0, len(r.GMean))
@@ -102,21 +127,21 @@ func RunExperiment(exp Experiment, o Options, workloads ...string) (string, erro
 		b.WriteString("\n")
 		return b.String(), nil
 	case ExpFig15Bandwidth:
-		r := experiments.Bandwidth(eo, 4)
+		r := experiments.Bandwidth(ctx, eo, 4)
 		return r.Overhead.String() + "\n" + r.PerWorkload.String(), nil
 	case ExpFig16SpatioTempo:
-		return experiments.SpatioTemporal(eo, 4).Coverage.String(), nil
+		return experiments.SpatioTemporal(ctx, eo, 4).Coverage.String(), nil
 	case ExpBandwidthUtil:
-		r := experiments.Utilization(eo, 4)
+		r := experiments.Utilization(ctx, eo, 4)
 		return r.BaselineGBps.String() + "\n" + r.Utilization.String(), nil
 	case ExpTableI:
 		return experiments.TableI(), nil
 	case ExpTableII:
 		return experiments.TableII(), nil
 	case ExpAblations:
-		return experiments.Ablations(eo, 4).Coverage.String(), nil
+		return experiments.Ablations(ctx, eo, 4).Coverage.String(), nil
 	case ExpDegreeSweep:
-		r := experiments.DegreeSweep(eo, nil, nil)
+		r := experiments.DegreeSweep(ctx, eo, nil, nil)
 		return r.Coverage.String() + "\n" + r.Overpredictions.String(), nil
 	default:
 		return "", fmt.Errorf("domino: unknown experiment %q (have %v)", exp, Experiments())
@@ -138,8 +163,25 @@ const (
 // Experiments that do not produce grids (table1, table2, fig12's histogram)
 // render their native text regardless of format.
 func RunExperimentFormat(exp Experiment, o Options, f Format, workloads ...string) (string, error) {
+	return RunExperimentFormatContext(context.Background(), exp, o, f, workloads...)
+}
+
+// RunExperimentFormatContext is RunExperimentFormat with cancellation and
+// checkpoint handling, with the same semantics as RunExperimentContext.
+func RunExperimentFormatContext(ctx context.Context, exp Experiment, o Options, f Format, workloads ...string) (string, error) {
 	o = o.normalised()
-	eo := o.experimentOptions(workloads...)
+	eo, cleanup, err := o.engineOptions(exp, workloads...)
+	if err != nil {
+		return "", err
+	}
+	out, err := runExperimentFormat(ctx, exp, o, eo, f, workloads...)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	return out, err
+}
+
+func runExperimentFormat(ctx context.Context, exp Experiment, o Options, eo experiments.Options, f Format, workloads ...string) (string, error) {
 	render := func(gs ...*experiments.Grid) string {
 		var b strings.Builder
 		for i, g := range gs {
@@ -160,40 +202,78 @@ func RunExperimentFormat(exp Experiment, o Options, f Format, workloads ...strin
 	}
 	switch exp {
 	case ExpFig1Opportunity:
-		return render(experiments.Opportunity(eo).Coverage), nil
+		return render(experiments.Opportunity(ctx, eo).Coverage), nil
 	case ExpFig2StreamLength:
-		return render(experiments.Opportunity(eo).StreamLength), nil
+		return render(experiments.Opportunity(ctx, eo).StreamLength), nil
 	case ExpFig3LookupAccuracy:
-		return render(experiments.Lookup(eo).Accuracy), nil
+		return render(experiments.Lookup(ctx, eo).Accuracy), nil
 	case ExpFig4LookupMatch:
-		return render(experiments.Lookup(eo).MatchRate), nil
+		return render(experiments.Lookup(ctx, eo).MatchRate), nil
 	case ExpFig5VaryLookup:
-		r := experiments.Lookup(eo)
+		r := experiments.Lookup(ctx, eo)
 		return render(r.Coverage, r.Overpred), nil
 	case ExpFig9HTSweep:
-		return render(experiments.Sensitivity(eo).HT), nil
+		return render(experiments.Sensitivity(ctx, eo).HT), nil
 	case ExpFig10EITSweep:
-		return render(experiments.Sensitivity(eo).EIT), nil
+		return render(experiments.Sensitivity(ctx, eo).EIT), nil
 	case ExpFig11Degree1:
-		r := experiments.Comparison(eo, 1, true)
+		r := experiments.Comparison(ctx, eo, 1, true)
 		return render(r.Coverage, r.Overpredictions), nil
 	case ExpFig13Degree4:
-		r := experiments.Comparison(eo, 4, false)
+		r := experiments.Comparison(ctx, eo, 4, false)
 		return render(r.Coverage, r.Overpredictions), nil
 	case ExpFig14Speedup:
-		return render(experiments.Speedup(eo, 4).Speedup), nil
+		return render(experiments.Speedup(ctx, eo, 4).Speedup), nil
 	case ExpFig15Bandwidth:
-		r := experiments.Bandwidth(eo, 4)
+		r := experiments.Bandwidth(ctx, eo, 4)
 		return render(r.Overhead, r.PerWorkload), nil
 	case ExpFig16SpatioTempo:
-		return render(experiments.SpatioTemporal(eo, 4).Coverage), nil
+		return render(experiments.SpatioTemporal(ctx, eo, 4).Coverage), nil
 	case ExpBandwidthUtil:
-		r := experiments.Utilization(eo, 4)
+		r := experiments.Utilization(ctx, eo, 4)
 		return render(r.BaselineGBps, r.Utilization), nil
 	case ExpAblations:
-		return render(experiments.Ablations(eo, 4).Coverage), nil
+		return render(experiments.Ablations(ctx, eo, 4).Coverage), nil
 	default:
 		// Non-grid experiments fall back to the native rendering.
-		return RunExperiment(exp, o, workloads...)
+		return runExperiment(ctx, exp, o, eo, workloads...)
 	}
+}
+
+// checkpointFingerprint binds a checkpoint file to the sweep configuration
+// that wrote it: the experiment id and every option that changes what a
+// cell's result means. Parallelism, telemetry and fault policy are
+// deliberately excluded — they change how the sweep runs, not what a cell
+// computes.
+func checkpointFingerprint(exp Experiment, o Options, workloads []string) string {
+	ws := "all"
+	if len(workloads) > 0 {
+		ws = strings.Join(workloads, ",")
+	}
+	return fmt.Sprintf("exp=%s accesses=%d warmup=%d scale=%d workloads=%s",
+		exp, o.Accesses, o.Warmup, o.Scale, ws)
+}
+
+// engineOptions maps the normalised facade options onto engine options,
+// opening the checkpoint when one is configured. The returned cleanup
+// closes the checkpoint and reports its sticky write error; it is a no-op
+// when no checkpoint is in play.
+func (o Options) engineOptions(exp Experiment, workloads ...string) (experiments.Options, func() error, error) {
+	eo := o.experimentOptions(workloads...)
+	cleanup := func() error { return nil }
+	if o.CheckpointPath != "" {
+		cp, err := experiments.OpenCheckpoint(o.CheckpointPath, checkpointFingerprint(exp, o, workloads))
+		if err != nil {
+			return eo, cleanup, err
+		}
+		eo.Checkpoint = cp
+		path := o.CheckpointPath
+		cleanup = func() error {
+			if err := cp.Close(); err != nil {
+				return fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+			return nil
+		}
+	}
+	return eo, cleanup, nil
 }

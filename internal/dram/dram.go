@@ -8,6 +8,7 @@
 package dram
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -125,6 +126,40 @@ func (m *Meter) Add(other *Meter) {
 		m.bytes[c] += other.bytes[c]
 		m.transfers[c] += other.transfers[c]
 	}
+}
+
+// meterJSON is the wire form of a Meter, used when experiment results are
+// checkpointed (internal/experiments). The per-class arrays stay unexported
+// on the struct so Record remains the only mutation path in normal use.
+type meterJSON struct {
+	Bytes     []uint64 `json:"bytes"`
+	Transfers []uint64 `json:"transfers"`
+}
+
+// MarshalJSON encodes the per-class counters in class order.
+func (m *Meter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(meterJSON{
+		Bytes:     append([]uint64(nil), m.bytes[:]...),
+		Transfers: append([]uint64(nil), m.transfers[:]...),
+	})
+}
+
+// UnmarshalJSON restores a meter encoded by MarshalJSON. Extra classes in
+// the input are rejected rather than silently dropped: a count that doesn't
+// map onto this build's classes would corrupt the decomposition.
+func (m *Meter) UnmarshalJSON(b []byte) error {
+	var w meterJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Bytes) > int(numClasses) || len(w.Transfers) > int(numClasses) {
+		return fmt.Errorf("dram: meter JSON has %d/%d classes, want at most %d",
+			len(w.Bytes), len(w.Transfers), numClasses)
+	}
+	*m = Meter{}
+	copy(m.bytes[:], w.Bytes)
+	copy(m.transfers[:], w.Transfers)
+	return nil
 }
 
 // String renders the per-class byte counts.

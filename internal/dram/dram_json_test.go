@@ -1,0 +1,38 @@
+package dram
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMeterJSONRoundTrip(t *testing.T) {
+	m := &Meter{}
+	m.RecordBlock(Demand)
+	m.RecordBlocks(PrefetchWrong, 3)
+	m.Record(MetadataRead, 128)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Meter{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if got.Bytes(c) != m.Bytes(c) || got.Transfers(c) != m.Transfers(c) {
+			t.Fatalf("class %v drifted: bytes %d vs %d, transfers %d vs %d",
+				c, got.Bytes(c), m.Bytes(c), got.Transfers(c), m.Transfers(c))
+		}
+	}
+	if got.OverheadBytes() != m.OverheadBytes() {
+		t.Fatalf("overhead drifted: %d vs %d", got.OverheadBytes(), m.OverheadBytes())
+	}
+}
+
+func TestMeterJSONRejectsExtraClasses(t *testing.T) {
+	in := `{"bytes":[1,2,3,4,5,6,7,8,9],"transfers":[1,2,3,4,5,6,7,8,9]}`
+	m := &Meter{}
+	if err := json.Unmarshal([]byte(in), m); err == nil {
+		t.Fatal("input with more classes than this build accepted")
+	}
+}

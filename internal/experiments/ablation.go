@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"domino/internal/core"
 	"domino/internal/dram"
 	"domino/internal/prefetch"
@@ -55,7 +58,7 @@ type AblationResult struct {
 }
 
 // Ablations runs the Domino ablation study at the given degree.
-func Ablations(o Options, degree int) *AblationResult {
+func Ablations(ctx context.Context, o Options, degree int) *AblationResult {
 	res := &AblationResult{
 		Coverage: &Grid{Title: "Domino ablations: coverage by variant (DESIGN.md §4)", Unit: "%"},
 	}
@@ -79,9 +82,10 @@ func Ablations(o Options, degree int) *AblationResult {
 				Collect: func(r any) {
 					res.Coverage.Add(wp.Name, v.Name, r.(*prefetch.Result).Coverage())
 				},
+				Restore: restoreJSON[*prefetch.Result](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("ablations/degree=%d", degree), jobs)
 	return res
 }

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"domino/internal/dram"
 	"domino/internal/prefetch"
 )
@@ -21,7 +24,7 @@ type BandwidthResult struct {
 
 // Bandwidth reproduces Figure 15 at the given prefetch degree (the paper
 // uses 4).
-func Bandwidth(o Options, degree int) *BandwidthResult {
+func Bandwidth(ctx context.Context, o Options, degree int) *BandwidthResult {
 	prefetchers := []string{"stms", "digram", "domino"}
 	res := &BandwidthResult{
 		Overhead:    &Grid{Title: "Fig. 15: off-chip traffic overhead over baseline, by class", Unit: "%"},
@@ -58,10 +61,11 @@ func Bandwidth(o Options, degree int) *BandwidthResult {
 					res.PerWorkload.Add(wp.Name, name,
 						float64(r.Meter.OverheadBytes())/base)
 				},
+				Restore: restoreJSON[*prefetch.Result](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("bandwidth/degree=%d", degree), jobs)
 	n := float64(len(o.workloads()))
 	for _, name := range prefetchers {
 		res.Overhead.Add(name, "wrong-prefetch", sums[name][dram.PrefetchWrong]/n)

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// chaosConfig is the engine's test-only fault injector: it deterministically
+// selects a subset of jobs — by hashing (seed, label) — and makes them
+// panic or stall, so the degradation paths (Degrade recovery, the
+// JobTimeout watchdog, failure telemetry, "-" rendering) can be pinned
+// under -race without touching any runner. It is reachable only through
+// the unexported Options.chaos hook, so it cannot leak into production
+// sweeps.
+type chaosConfig struct {
+	seed      uint64
+	panicRate float64         // fraction of jobs that panic, in [0, 1]
+	stallRate float64         // fraction of jobs that stall before running
+	stall     time.Duration   // how long a stalled job sleeps
+	stallC    <-chan struct{} // if non-nil, stalled jobs block here instead of sleeping
+}
+
+type chaosAction uint8
+
+const (
+	chaosNone chaosAction = iota
+	chaosPanic
+	chaosStall
+)
+
+// plan deterministically assigns a job its fault: the label hash is mapped
+// to a uniform fraction in [0, 1) and compared against the configured
+// rates. The same (seed, label) always gets the same fate, independent of
+// worker count and scheduling — which is what lets tests predict exactly
+// which cells fail.
+//
+// The FNV sum is passed through a 64-bit finalizer before use: FNV-1a's
+// last input byte only perturbs the sum by < 2^48 (one multiply by the
+// prime), so labels differing in their final characters — "OLTP/s0" vs
+// "OLTP/s1" — would otherwise land on nearly identical fractions and fail
+// as whole rows instead of a uniform sample.
+func (c *chaosConfig) plan(label string) chaosAction {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", c.seed, label)
+	frac := float64(mix64(h.Sum64())>>11) / float64(uint64(1)<<53)
+	switch {
+	case frac < c.panicRate:
+		return chaosPanic
+	case frac < c.panicRate+c.stallRate:
+		return chaosStall
+	default:
+		return chaosNone
+	}
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer: full avalanche, so every
+// input bit flips every output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// wrap returns the job body with this job's planned fault injected.
+func (c *chaosConfig) wrap(label string, run func() any) func() any {
+	switch c.plan(label) {
+	case chaosPanic:
+		return func() any { panic("chaos: injected panic in " + label) }
+	case chaosStall:
+		return func() any {
+			if c.stallC != nil {
+				<-c.stallC
+			} else {
+				time.Sleep(c.stall)
+			}
+			return run()
+		}
+	default:
+		return run
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// A Checkpoint persists completed sweep cells to a JSONL file so an
+// interrupted sweep can resume without re-simulating them. The first line
+// is a header binding the file to one sweep configuration (the
+// fingerprint: experiment, trace length, warmup, scale, workloads); every
+// further line is one cell keyed by a hash of its (runner scope, label,
+// fingerprint) identity:
+//
+//	{"domino_checkpoint":1,"fingerprint":"exp=fig9 accesses=..."}
+//	{"key":"91c3b2…","label":"sensitivity/OLTP/ht=1M entries","result":{…}}
+//
+// Appends are atomic at the line level: each entry is marshalled to one
+// buffer and written with a single O_APPEND write, so a crash or SIGKILL
+// can at worst leave one partial final line, which reloading tolerates.
+// The header itself is created via a temp file renamed into place, so a
+// half-written checkpoint file is never observed under the real name.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seen map[string]json.RawMessage
+	err  error // sticky first write error
+}
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Version     int    `json:"domino_checkpoint"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+type checkpointEntry struct {
+	Key    string          `json:"key"`
+	Label  string          `json:"label"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint file at path for the
+// sweep configuration described by fingerprint. An existing file written
+// for a different configuration is refused — resuming it would graft
+// cells from one sweep onto another.
+func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	cp := &Checkpoint{path: path, seen: make(map[string]json.RawMessage)}
+	f, err := os.Open(path)
+	switch {
+	case os.IsNotExist(err):
+		if err := writeCheckpointHeader(path, fingerprint); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	default:
+		loadErr := cp.load(f, fingerprint)
+		f.Close()
+		if loadErr != nil {
+			return nil, loadErr
+		}
+	}
+	cp.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// writeCheckpointHeader creates a fresh checkpoint file containing only
+// the header line, via a temp file in the target directory renamed into
+// place — an interrupted creation never leaves a truncated file under the
+// checkpoint's name.
+func writeCheckpointHeader(path, fingerprint string) error {
+	line, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Fingerprint: fingerprint})
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(line, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// load reads an existing checkpoint file: validates the header against
+// fingerprint, then indexes every well-formed entry. A malformed line
+// (typically a partial final line from an interrupted append) ends the
+// scan: everything before it is kept, the cell it described re-runs.
+func (c *Checkpoint) load(f *os.File, fingerprint string) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("checkpoint %s: %w", c.path, err)
+		}
+		return fmt.Errorf("checkpoint %s: empty file (missing header)", c.path)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Version == 0 {
+		return fmt.Errorf("checkpoint %s: not a checkpoint file (bad header)", c.path)
+	}
+	if hdr.Version != checkpointVersion {
+		return fmt.Errorf("checkpoint %s: unsupported version %d", c.path, hdr.Version)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return fmt.Errorf("checkpoint %s: written for a different sweep configuration\n  have: %s\n  want: %s\ndelete the file or rerun with the original flags",
+			c.path, hdr.Fingerprint, fingerprint)
+	}
+	for sc.Scan() {
+		var e checkpointEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			break
+		}
+		c.seen[e.Key] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.path, err)
+	}
+	return nil
+}
+
+// lookup returns the stored raw result for a cell key.
+func (c *Checkpoint) lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.seen[key]
+	return raw, ok
+}
+
+// append persists one completed cell. Safe for concurrent use; after the
+// first write error further appends are dropped and the error is reported
+// once via Err.
+func (c *Checkpoint) append(key, label string, result any) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	line, err := json.Marshal(checkpointEntry{Key: key, Label: label, Result: raw})
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		c.err = err
+		return
+	}
+	c.seen[key] = raw
+}
+
+func (c *Checkpoint) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Len returns the number of cells currently indexed.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
+
+// Err returns the sticky first write or encode error, if any.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close closes the underlying file and returns the sticky write error (or
+// the close error, if that is the first thing to go wrong).
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.f = nil
+	}
+	return c.err
+}
+
+// checkpointKey hashes a cell's identity within one sweep: the runner's
+// scope (name plus parameters) and the cell label. The configuration half
+// of the identity lives in the file header's fingerprint, so the key only
+// needs to be unique within the file.
+func checkpointKey(scope, label string) string {
+	h := fnv.New64a()
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// restoreJSON returns a Job.Restore that decodes a checkpointed result
+// into a value of type T — the exact type the job's Collect asserts
+// (use a pointer instantiation, e.g. restoreJSON[*prefetch.Result], for
+// jobs returning pointers).
+func restoreJSON[T any]() func([]byte) (any, error) {
+	return func(b []byte) (any, error) {
+		var v T
+		if err := json.Unmarshal(b, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}

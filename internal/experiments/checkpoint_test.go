@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointCreateAppendReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := OpenCheckpoint(path, "exp=fig9 accesses=400000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != 0 {
+		t.Fatalf("fresh checkpoint holds %d cells", cp.Len())
+	}
+	cp.append(checkpointKey("s", "a"), "s/a", 1.5)
+	cp.append(checkpointKey("s", "b"), "s/b", map[string]int{"x": 3})
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, "exp=fig9 accesses=400000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != 2 {
+		t.Fatalf("reloaded %d cells, want 2", cp2.Len())
+	}
+	raw, ok := cp2.lookup(checkpointKey("s", "a"))
+	if !ok || string(raw) != "1.5" {
+		t.Fatalf("cell a = %q ok=%v", raw, ok)
+	}
+	if _, ok := cp2.lookup(checkpointKey("other-scope", "a")); ok {
+		t.Fatal("lookup ignored the scope half of the key")
+	}
+}
+
+func TestCheckpointFingerprintMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := OpenCheckpoint(path, "exp=fig9 accesses=400000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	_, err = OpenCheckpoint(path, "exp=fig9 accesses=2000000")
+	if err == nil {
+		t.Fatal("checkpoint from a different configuration accepted")
+	}
+	if !strings.Contains(err.Error(), "different sweep configuration") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+	// Both fingerprints should appear so the user can see what differs.
+	if !strings.Contains(err.Error(), "accesses=400000") || !strings.Contains(err.Error(), "accesses=2000000") {
+		t.Fatalf("error hides the fingerprints: %v", err)
+	}
+}
+
+// TestCheckpointToleratesPartialTrailingLine simulates a crash mid-append:
+// everything before the torn line reloads, the torn cell re-runs.
+func TestCheckpointToleratesPartialTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.append(checkpointKey("s", "a"), "s/a", 1.0)
+	cp.append(checkpointKey("s", "b"), "s/b", 2.0)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"0123456789abcdef","label":"s/c","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cp2, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatalf("torn final line should be tolerated: %v", err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != 2 {
+		t.Fatalf("reloaded %d cells, want the 2 whole ones", cp2.Len())
+	}
+}
+
+func TestCheckpointRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.ckpt":   "",
+		"garbage.ckpt": "this is not json\n",
+		"json.ckpt":    `{"some":"other format"}` + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, "fp"); err == nil {
+			t.Fatalf("%s: accepted a non-checkpoint file", name)
+		}
+	}
+}
+
+// TestCheckpointHeaderAtomic checks creation goes through a rename: after
+// OpenCheckpoint returns, no temp file remains and the file starts with a
+// complete header line.
+func TestCheckpointHeaderAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	cp, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), `{"domino_checkpoint":1,`) || !strings.HasSuffix(string(b), "\n") {
+		t.Fatalf("header not atomically written: %q", b)
+	}
+}
+
+func TestCheckpointKeyDistinguishesScopeAndLabel(t *testing.T) {
+	keys := map[string]string{
+		checkpointKey("a", "b/c"): "a|b/c",
+		checkpointKey("a/b", "c"): "a/b|c",
+		checkpointKey("a", "bc"):  "a|bc",
+	}
+	if len(keys) != 3 {
+		t.Fatalf("scope/label boundary collides: %v", keys)
+	}
+}
+
+func TestRestoreJSONTypeMismatch(t *testing.T) {
+	if _, err := restoreJSON[float64]()([]byte(`"nope"`)); err == nil {
+		t.Fatal("string decoded into float64")
+	}
+	v, err := restoreJSON[float64]()([]byte(`2.5`))
+	if err != nil || v.(float64) != 2.5 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}

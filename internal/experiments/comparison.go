@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"domino/internal/dram"
@@ -22,7 +23,7 @@ type ComparisonResult struct {
 // Sequitur's opportunity included at degree 1 as in the paper. Each
 // (workload, prefetcher) evaluation — and each workload's Sequitur
 // analysis — is an independent engine job.
-func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
+func Comparison(ctx context.Context, o Options, degree int, withSequitur bool) *ComparisonResult {
 	res := &ComparisonResult{
 		Degree: degree,
 		Coverage: &Grid{
@@ -51,6 +52,7 @@ func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 					res.Coverage.Add(wp.Name, name, r.Coverage())
 					res.Overpredictions.Add(wp.Name, name, r.Overprediction())
 				},
+				Restore: restoreJSON[*prefetch.Result](),
 			})
 		}
 		if withSequitur {
@@ -62,9 +64,10 @@ func Comparison(o Options, degree int, withSequitur bool) *ComparisonResult {
 					res.Coverage.Add(wp.Name, "sequitur", a.Coverage())
 					res.Overpredictions.Add(wp.Name, "sequitur", 0)
 				},
+				Restore: restoreJSON[sequitur.Analysis](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("comparison/degree=%d", degree), jobs)
 	return res
 }

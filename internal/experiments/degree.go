@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"domino/internal/dram"
@@ -18,7 +19,7 @@ type DegreeSweepResult struct {
 }
 
 // DegreeSweep measures the given prefetchers across degrees.
-func DegreeSweep(o Options, prefetchers []string, degrees []int) *DegreeSweepResult {
+func DegreeSweep(ctx context.Context, o Options, prefetchers []string, degrees []int) *DegreeSweepResult {
 	if len(degrees) == 0 {
 		degrees = []int{1, 2, 4, 8}
 	}
@@ -48,10 +49,11 @@ func DegreeSweep(o Options, prefetchers []string, degrees []int) *DegreeSweepRes
 						res.Coverage.Add(wp.Name, col, r.Coverage())
 						res.Overpredictions.Add(wp.Name, col, r.Overprediction())
 					},
+					Restore: restoreJSON[*prefetch.Result](),
 				})
 			}
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, "degree-sweep", jobs)
 	return res
 }

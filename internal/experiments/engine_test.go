@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -124,6 +125,7 @@ type recordingObserver struct {
 	queued   []string
 	started  int
 	finished int
+	failed   []string
 	workers  map[int]bool
 	labels   map[string]bool
 	negDur   bool
@@ -154,6 +156,12 @@ func (r *recordingObserver) JobFinished(i int, label string, worker int, d time.
 	if d < 0 {
 		r.negDur = true
 	}
+}
+
+func (r *recordingObserver) JobFailed(i int, label string, worker int, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = append(r.failed, label)
 }
 
 // TestRunJobsObserverEvents checks the engine's lifecycle emission on both
@@ -204,23 +212,23 @@ var determinismRunners = []struct {
 	render func(Options) string
 }{
 	{"Opportunity", func(o Options) string {
-		r := Opportunity(o)
+		r := Opportunity(context.Background(), o)
 		return r.Coverage.String() + r.StreamLength.String() + r.HistogramTable()
 	}},
 	{"Lookup", func(o Options) string {
-		r := Lookup(o)
+		r := Lookup(context.Background(), o)
 		return r.Accuracy.String() + r.MatchRate.String() + r.Coverage.String() + r.Overpred.String()
 	}},
 	{"Comparison", func(o Options) string {
-		r := Comparison(o, 1, true)
+		r := Comparison(context.Background(), o, 1, true)
 		return r.Coverage.String() + r.Overpredictions.String()
 	}},
 	{"Sensitivity", func(o Options) string {
-		r := Sensitivity(o)
+		r := Sensitivity(context.Background(), o)
 		return r.HT.String() + r.EIT.String()
 	}},
 	{"Speedup", func(o Options) string {
-		r := Speedup(o, 4)
+		r := Speedup(context.Background(), o, 4)
 		s := r.Speedup.String()
 		for _, p := range PrefetcherNames {
 			s += r.Speedup.format(r.GMean[p])
@@ -228,21 +236,21 @@ var determinismRunners = []struct {
 		return s
 	}},
 	{"Bandwidth", func(o Options) string {
-		r := Bandwidth(o, 4)
+		r := Bandwidth(context.Background(), o, 4)
 		return r.Overhead.String() + r.PerWorkload.String()
 	}},
 	{"Utilization", func(o Options) string {
-		r := Utilization(o, 4)
+		r := Utilization(context.Background(), o, 4)
 		return r.BaselineGBps.String() + r.Utilization.String()
 	}},
 	{"SpatioTemporal", func(o Options) string {
-		return SpatioTemporal(o, 4).Coverage.String()
+		return SpatioTemporal(context.Background(), o, 4).Coverage.String()
 	}},
 	{"Ablations", func(o Options) string {
-		return Ablations(o, 4).Coverage.String()
+		return Ablations(context.Background(), o, 4).Coverage.String()
 	}},
 	{"DegreeSweep", func(o Options) string {
-		r := DegreeSweep(o, nil, []int{1, 4})
+		r := DegreeSweep(context.Background(), o, nil, []int{1, 4})
 		return r.Coverage.String() + r.Overpredictions.String()
 	}},
 }

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"domino/internal/core"
 	"domino/internal/digram"
@@ -55,8 +57,31 @@ type Options struct {
 	// chosen by the caller; rendered experiment output is unaffected.
 	Observer telemetry.JobObserver
 	// Metrics, if non-nil, accumulates engine counters and timers
-	// (jobs, batches, workers, per-job wall time) for a -metrics dump.
+	// (jobs, batches, workers, per-job wall time, plus the resilience
+	// counters jobs_failed/jobs_skipped/jobs_restored) for a -metrics
+	// dump.
 	Metrics *telemetry.Registry
+	// FaultPolicy selects what the engine does when a simulation cell
+	// panics or times out: FailFast (the zero value) re-raises the first
+	// failure in job order, Degrade turns the cell into a missing "-"
+	// entry and lets the sweep finish.
+	FaultPolicy FaultPolicy
+	// JobTimeout, when positive, bounds each cell's wall time: a cell
+	// exceeding it is treated as failed under the fault policy. The
+	// abandoned cell finishes in the background and its result is
+	// discarded.
+	JobTimeout time.Duration
+	// Checkpoint, if non-nil, persists completed cells and restores them
+	// on a rerun (see OpenCheckpoint).
+	Checkpoint *Checkpoint
+
+	// chaos, when set (tests only), injects deterministic panics and
+	// stalls into job bodies to exercise the degradation paths.
+	chaos *chaosConfig
+	// drain, when set (tests only), tracks job goroutines abandoned by
+	// the timeout watchdog so tests can wait for them before checking
+	// for leaks.
+	drain *sync.WaitGroup
 }
 
 // DefaultOptions is laptop scale: 2 M accesses (half of them warmup),

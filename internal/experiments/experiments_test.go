@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func TestGridLookupDistinguishesMissingCells(t *testing.T) {
 }
 
 func TestComparisonEndToEnd(t *testing.T) {
-	r := Comparison(tinyOptions(), 1, true)
+	r := Comparison(context.Background(), tinyOptions(), 1, true)
 	if len(r.Coverage.Workloads()) != 2 {
 		t.Fatal("missing workloads")
 	}
@@ -172,7 +173,7 @@ func TestNgramKeyDistinguishes(t *testing.T) {
 }
 
 func TestOpportunityEndToEnd(t *testing.T) {
-	r := Opportunity(tinyOptions())
+	r := Opportunity(context.Background(), tinyOptions())
 	for _, w := range r.Coverage.Workloads() {
 		if r.Coverage.Value(w, "sequitur") <= 0 {
 			t.Fatalf("no opportunity measured for %s", w)
@@ -187,7 +188,7 @@ func TestOpportunityEndToEnd(t *testing.T) {
 }
 
 func TestBandwidthEndToEnd(t *testing.T) {
-	r := Bandwidth(tinyOptions(), 4)
+	r := Bandwidth(context.Background(), tinyOptions(), 4)
 	for _, p := range []string{"stms", "digram", "domino"} {
 		tot := r.Overhead.Value(p, "total")
 		if tot <= 0 {
@@ -201,7 +202,7 @@ func TestBandwidthEndToEnd(t *testing.T) {
 }
 
 func TestSpatioTemporalEndToEnd(t *testing.T) {
-	r := SpatioTemporal(tinyOptions(), 1)
+	r := SpatioTemporal(context.Background(), tinyOptions(), 1)
 	for _, w := range r.Coverage.Workloads() {
 		combined := r.Coverage.Value(w, "vldp+domino")
 		if combined <= 0 {
@@ -213,7 +214,7 @@ func TestSpatioTemporalEndToEnd(t *testing.T) {
 func TestSensitivityMonotoneInScale(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"OLTP"}
-	r := Sensitivity(o)
+	r := Sensitivity(context.Background(), o)
 	series := r.HT.Series()
 	if len(series) != 5 {
 		t.Fatalf("HT sweep series = %v", series)
@@ -229,7 +230,7 @@ func TestSensitivityMonotoneInScale(t *testing.T) {
 func TestSpeedupEndToEnd(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"OLTP"}
-	r := Speedup(o, 4)
+	r := Speedup(context.Background(), o, 4)
 	for _, p := range PrefetcherNames {
 		sp := r.Speedup.Value("OLTP", p)
 		if sp < 0.5 || sp > 10 {
@@ -313,7 +314,7 @@ func TestShapeRegression(t *testing.T) {
 	}
 	o := Options{Accesses: 400_000, Warmup: 200_000, Scale: 32,
 		Workloads: []string{"OLTP", "Web Search"}}
-	r := Comparison(o, 1, true)
+	r := Comparison(context.Background(), o, 1, true)
 	for _, w := range o.Workloads {
 		domino := r.Coverage.Value(w, "domino")
 		stms := r.Coverage.Value(w, "stms")
@@ -330,7 +331,7 @@ func TestShapeRegression(t *testing.T) {
 		}
 	}
 	// Degree 4: STMS's overpredictions must dwarf Domino's (Fig. 13).
-	r4 := Comparison(o, 4, false)
+	r4 := Comparison(context.Background(), o, 4, false)
 	for _, w := range o.Workloads {
 		if r4.Overpredictions.Value(w, "stms") < 1.5*r4.Overpredictions.Value(w, "domino") {
 			t.Errorf("%s: STMS overpredictions not well above Domino's", w)
@@ -341,7 +342,7 @@ func TestShapeRegression(t *testing.T) {
 func TestAblations(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"OLTP"}
-	r := Ablations(o, 4)
+	r := Ablations(context.Background(), o, 4)
 	if len(r.Coverage.Series()) != len(AblationVariants()) {
 		t.Fatalf("series = %v", r.Coverage.Series())
 	}
@@ -363,7 +364,7 @@ func TestAblations(t *testing.T) {
 func TestDegreeSweep(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"OLTP"}
-	r := DegreeSweep(o, []string{"domino"}, []int{1, 4})
+	r := DegreeSweep(context.Background(), o, []string{"domino"}, []int{1, 4})
 	c1 := r.Coverage.Value("OLTP", "domino@1")
 	c4 := r.Coverage.Value("OLTP", "domino@4")
 	if c1 <= 0 || c4 <= 0 {

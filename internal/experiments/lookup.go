@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"domino/internal/mem"
 )
 
@@ -141,15 +143,16 @@ type LookupResult struct {
 // lookupAnalyses is one workload's combined depth-analysis output, the
 // result of a single engine job (the expensive part — extracting the miss
 // sequence — is shared by both analyses, so they run as one job rather
-// than one per depth series).
+// than one per depth series). Fields are exported so the value survives a
+// checkpoint round-trip (checkpoint.go).
 type lookupAnalyses struct {
-	depths []LookupDepthStats
-	vary   []VaryLookupStats
+	Depths []LookupDepthStats
+	Vary   []VaryLookupStats
 }
 
 // Lookup runs the Section II lookup-depth analyses (depths 1..5), one
 // engine job per workload.
-func Lookup(o Options) *LookupResult {
+func Lookup(ctx context.Context, o Options) *LookupResult {
 	const maxDepth = 5
 	res := &LookupResult{
 		Accuracy:  &Grid{Title: "Fig. 3: correct predictions / matched lookups, by matched addresses", Unit: "%"},
@@ -168,26 +171,27 @@ func Lookup(o Options) *LookupResult {
 					lines[i] = mem.Line(v)
 				}
 				return lookupAnalyses{
-					depths: AnalyzeLookupDepths(lines, maxDepth),
-					vary:   AnalyzeVaryLookup(lines, maxDepth),
+					Depths: AnalyzeLookupDepths(lines, maxDepth),
+					Vary:   AnalyzeVaryLookup(lines, maxDepth),
 				}
 			},
 			Collect: func(v any) {
 				a := v.(lookupAnalyses)
-				for _, st := range a.depths {
+				for _, st := range a.Depths {
 					label := depthLabel(st.Depth)
 					res.Accuracy.Add(wp.Name, label, st.Accuracy())
 					res.MatchRate.Add(wp.Name, label, st.MatchRate())
 				}
-				for _, st := range a.vary {
+				for _, st := range a.Vary {
 					label := depthLabel(st.MaxDepth)
 					res.Coverage.Add(wp.Name, label, st.Coverage)
 					res.Overpred.Add(wp.Name, label, st.Overpredictions)
 				}
 			},
+			Restore: restoreJSON[lookupAnalyses](),
 		})
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, "lookup", jobs)
 	return res
 }
 

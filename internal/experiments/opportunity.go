@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,7 @@ type OpportunityResult struct {
 // Opportunity reproduces Figures 1, 2 and 12. Each (workload, prefetcher)
 // evaluation and each workload's Sequitur analysis is an independent
 // engine job.
-func Opportunity(o Options) *OpportunityResult {
+func Opportunity(ctx context.Context, o Options) *OpportunityResult {
 	res := &OpportunityResult{
 		Coverage:     &Grid{Title: "Fig. 1: read-miss coverage vs temporal opportunity", Unit: "%"},
 		StreamLength: &Grid{Title: "Fig. 2: average temporal stream length"},
@@ -53,6 +54,7 @@ func Opportunity(o Options) *OpportunityResult {
 						res.StreamLength.Add(wp.Name, name, r.MeanStreamLength())
 					}
 				},
+				Restore: restoreJSON[*prefetch.Result](),
 			})
 		}
 		jobs = append(jobs, Job{
@@ -65,9 +67,10 @@ func Opportunity(o Options) *OpportunityResult {
 				res.Histograms[wp.Name] = a.Hist
 				res.HistogramOrder = append(res.HistogramOrder, wp.Name)
 			},
+			Restore: restoreJSON[sequitur.Analysis](),
 		})
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, "opportunity", jobs)
 	return res
 }
 

@@ -1,0 +1,524 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"domino/internal/telemetry"
+)
+
+// errObserver additionally captures the errors JobFailed reports, so tests
+// can assert on failure causes (panic message, timeout) and not just
+// counts.
+type errObserver struct {
+	recordingObserver
+	errs map[string]error
+}
+
+func (e *errObserver) JobFailed(i int, label string, worker int, d time.Duration, err error) {
+	e.recordingObserver.JobFailed(i, label, worker, d, err)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.errs == nil {
+		e.errs = map[string]error{}
+	}
+	e.errs[label] = err
+}
+
+// gridJobs builds one labelled, checkpointable job per (workload, series)
+// cell of a small synthetic sweep, collecting into g. values[i] = i*10 so
+// any dropped or duplicated cell is visible in the rendered table.
+func gridJobs(g *Grid, workloads, series []string) []Job {
+	var jobs []Job
+	for wi, w := range workloads {
+		for si, s := range series {
+			w, s := w, s
+			v := float64(wi*len(series)+si) * 10
+			jobs = append(jobs, Job{
+				Label:   w + "/" + s,
+				Run:     func() any { return v },
+				Collect: func(got any) { g.Add(w, s, got.(float64)) },
+				Restore: restoreJSON[float64](),
+			})
+		}
+	}
+	return jobs
+}
+
+// TestChaosDegradeMatchesPlan runs a chaos-injected sweep under Degrade at
+// several worker counts and checks the failure set is exactly the one the
+// injector planned — same cells fail at every parallelism — and that failed
+// cells are missing from the grid (rendering as "-") while every other cell
+// holds its correct value.
+func TestChaosDegradeMatchesPlan(t *testing.T) {
+	workloads := []string{"A", "B", "C", "D"}
+	series := []string{"s0", "s1", "s2", "s3"}
+	chaos := &chaosConfig{seed: 7, panicRate: 0.3}
+
+	// The injector is deterministic, so the expected failure set can be
+	// computed up front from the same plan the engine consults.
+	expectFail := map[string]bool{}
+	for _, w := range workloads {
+		for _, s := range series {
+			if chaos.plan(w+"/"+s) == chaosPanic {
+				expectFail[w+"/"+s] = true
+			}
+		}
+	}
+	if len(expectFail) == 0 || len(expectFail) == len(workloads)*len(series) {
+		t.Fatalf("degenerate chaos plan: %d of %d jobs fail — pick another seed",
+			len(expectFail), len(workloads)*len(series))
+	}
+
+	for _, par := range []int{1, 4} {
+		g := &Grid{Title: "Chaos"}
+		obs := &errObserver{}
+		reg := telemetry.New()
+		o := Options{
+			Parallelism: par,
+			FaultPolicy: Degrade,
+			Observer:    obs,
+			Metrics:     reg,
+			chaos:       chaos,
+		}
+		stats := runJobsContext(context.Background(), o, "chaos-test", gridJobs(g, workloads, series))
+
+		if stats.failed != len(expectFail) {
+			t.Fatalf("par=%d: %d failed, want %d", par, stats.failed, len(expectFail))
+		}
+		if stats.completed != len(workloads)*len(series)-len(expectFail) {
+			t.Fatalf("par=%d: %d completed", par, stats.completed)
+		}
+		if got := reg.Counter("engine.jobs_failed").Value(); got != int64(len(expectFail)) {
+			t.Fatalf("par=%d: engine.jobs_failed = %d, want %d", par, got, len(expectFail))
+		}
+		for _, label := range obs.failed {
+			if !expectFail[label] {
+				t.Fatalf("par=%d: unplanned failure %q", par, label)
+			}
+			if err := obs.errs[label]; err == nil || !strings.Contains(err.Error(), "chaos") {
+				t.Fatalf("par=%d: failure %q lost its cause: %v", par, label, err)
+			}
+		}
+		if len(obs.failed) != len(expectFail) {
+			t.Fatalf("par=%d: observer saw %d failures, want %d", par, len(obs.failed), len(expectFail))
+		}
+		rendered := g.String()
+		for wi, w := range workloads {
+			for si, s := range series {
+				v, ok := g.Lookup(w, s)
+				if expectFail[w+"/"+s] {
+					if ok {
+						t.Fatalf("par=%d: failed cell %s/%s present with %v", par, w, s, v)
+					}
+					continue
+				}
+				if want := float64(wi*len(series)+si) * 10; !ok || v != want {
+					t.Fatalf("par=%d: cell %s/%s = %v ok=%v, want %v", par, w, s, v, ok, want)
+				}
+			}
+		}
+		if !strings.Contains(rendered, "-") {
+			t.Fatalf("par=%d: degraded grid renders no missing marker:\n%s", par, rendered)
+		}
+	}
+}
+
+// TestChaosFailFastFirstInJobOrder checks Degrade is opt-in: under the
+// zero-value policy a chaos panic still re-raises on the caller, and when
+// several jobs panic it is the first in job order that surfaces, not the
+// first to finish.
+func TestChaosFailFastFirstInJobOrder(t *testing.T) {
+	chaos := &chaosConfig{seed: 7, panicRate: 0.3}
+	workloads := []string{"A", "B", "C", "D"}
+	series := []string{"s0", "s1", "s2", "s3"}
+	first := ""
+	for _, w := range workloads {
+		for _, s := range series {
+			if first == "" && chaos.plan(w+"/"+s) == chaosPanic {
+				first = w + "/" + s
+			}
+		}
+	}
+	if first == "" {
+		t.Fatal("chaos plan injects no panic — pick another seed")
+	}
+	defer func() {
+		r := recover()
+		want := "chaos: injected panic in " + first
+		if r != want {
+			t.Fatalf("recovered %v, want %q", r, want)
+		}
+	}()
+	g := &Grid{}
+	runJobsContext(context.Background(), Options{Parallelism: 4, chaos: chaos},
+		"chaos-test", gridJobs(g, workloads, series))
+	t.Fatal("runJobsContext returned despite FailFast chaos panics")
+}
+
+// TestChaosStallCompletes pins the injector's stall path: stalled jobs
+// sleep, then run to completion — the sweep degrades in wall time only.
+func TestChaosStallCompletes(t *testing.T) {
+	g := &Grid{}
+	o := Options{
+		Parallelism: 4,
+		chaos:       &chaosConfig{seed: 3, stallRate: 0.5, stall: time.Millisecond},
+	}
+	stats := runJobsContext(context.Background(), o, "chaos-test",
+		gridJobs(g, []string{"A", "B"}, []string{"s0", "s1"}))
+	if stats.completed != 4 || stats.failed != 0 {
+		t.Fatalf("stats = %+v, want 4 completed", stats)
+	}
+}
+
+// TestCancellationDrainsInFlight cancels a parallel sweep while exactly two
+// jobs are running: those two must drain and collect, every undispatched
+// job must stay a skipped missing cell, and the skip must be visible in
+// stats, the counter, and the rendered grid.
+func TestCancellationDrainsInFlight(t *testing.T) {
+	const n = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, n)
+	gate := make(chan struct{})
+	g := &Grid{Title: "Cancelled"}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() any {
+				started <- struct{}{}
+				<-gate
+				return float64(i)
+			},
+			Collect: func(v any) { g.Add(fmt.Sprintf("w%d", i), "s", v.(float64)) },
+		}
+	}
+	go func() {
+		<-started
+		<-started
+		cancel() // both workers are blocked inside Run; nothing new dispatches
+		close(gate)
+	}()
+	reg := telemetry.New()
+	stats := runJobsContext(ctx, Options{Parallelism: 2, Metrics: reg}, "", jobs)
+
+	if stats.completed != 2 || stats.skipped != n-2 {
+		t.Fatalf("stats = %+v, want 2 completed / %d skipped", stats, n-2)
+	}
+	if got := reg.Counter("engine.jobs_skipped").Value(); got != n-2 {
+		t.Fatalf("engine.jobs_skipped = %d, want %d", got, n-2)
+	}
+	if len(g.Cells) != 2 {
+		t.Fatalf("collected %d cells, want the 2 in-flight jobs", len(g.Cells))
+	}
+	if !strings.Contains(g.String(), "-") {
+		// Skipped workloads never entered the grid at all; spot-check the
+		// table still renders (missing series would be a different bug).
+		t.Logf("grid:\n%s", g.String())
+	}
+}
+
+// TestJobTimeoutWatchdog bounds a wedged cell's wall time: the cell is
+// reported failed with a timeout error, the sweep completes, and the
+// abandoned goroutine exits once unblocked — the drain hook proves no leak
+// outlives the test.
+func TestJobTimeoutWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	var drainWG sync.WaitGroup
+	obs := &errObserver{}
+	reg := telemetry.New()
+	o := Options{
+		Parallelism: 2,
+		FaultPolicy: Degrade,
+		JobTimeout:  20 * time.Millisecond,
+		Observer:    obs,
+		Metrics:     reg,
+		drain:       &drainWG,
+	}
+	jobs := []Job{
+		{Label: "ok-0", Run: func() any { return 1 }},
+		{Label: "wedged", Run: func() any { <-release; return 2 }},
+		{Label: "ok-1", Run: func() any { return 3 }},
+	}
+	stats := runJobsContext(context.Background(), o, "", jobs)
+	if stats.failed != 1 || stats.completed != 2 {
+		t.Fatalf("stats = %+v, want 1 failed / 2 completed", stats)
+	}
+	err := obs.errs["wedged"]
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("wedged cell error = %v, want timeout", err)
+	}
+	if got := reg.Counter("engine.jobs_failed").Value(); got != 1 {
+		t.Fatalf("engine.jobs_failed = %d", got)
+	}
+	close(release)
+	drainWG.Wait() // the abandoned goroutine must terminate once unblocked
+}
+
+// TestJobTimeoutSerial pins the watchdog on the serial path, where the
+// engine must switch to protected execution even under FailFast-by-default
+// Degrade-off semantics being preserved elsewhere.
+func TestJobTimeoutSerial(t *testing.T) {
+	release := make(chan struct{})
+	var drainWG sync.WaitGroup
+	o := Options{
+		Parallelism: 1,
+		FaultPolicy: Degrade,
+		JobTimeout:  10 * time.Millisecond,
+		drain:       &drainWG,
+	}
+	jobs := []Job{
+		{Label: "wedged", Run: func() any { <-release; return 1 }},
+		{Label: "ok", Run: func() any { return 2 }},
+	}
+	stats := runJobsContext(context.Background(), o, "", jobs)
+	if stats.failed != 1 || stats.completed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	close(release)
+	drainWG.Wait()
+}
+
+// TestEngineCheckpointResume interrupts a checkpointed synthetic sweep with
+// chaos panics, then resumes it with chaos off: the resumed run must
+// restore every previously completed cell (no re-simulation), run only the
+// missing ones, and assemble a grid identical to an uninterrupted sweep —
+// at one worker and at eight.
+func TestEngineCheckpointResume(t *testing.T) {
+	workloads := []string{"A", "B", "C", "D"}
+	series := []string{"s0", "s1", "s2", "s3"}
+	total := len(workloads) * len(series)
+
+	clean := &Grid{Title: "G"}
+	runJobsContext(context.Background(), Options{Parallelism: 1}, "scope",
+		gridJobs(clean, workloads, series))
+	want := clean.String()
+
+	for _, par := range []int{1, 8} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "sweep.ckpt")
+
+		// First pass: chaos kills a deterministic subset under Degrade.
+		cp, err := OpenCheckpoint(path, "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1 := &Grid{Title: "G"}
+		o := Options{
+			Parallelism: par,
+			FaultPolicy: Degrade,
+			Checkpoint:  cp,
+			chaos:       &chaosConfig{seed: 7, panicRate: 0.3},
+		}
+		s1 := runJobsContext(context.Background(), o, "scope", gridJobs(g1, workloads, series))
+		if err := cp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if s1.failed == 0 {
+			t.Fatal("chaos injected no failures — resume would prove nothing")
+		}
+
+		// Second pass: same checkpoint, chaos off. Completed cells restore,
+		// failed ones finally run.
+		cp2, err := OpenCheckpoint(path, "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp2.Len() != s1.completed {
+			t.Fatalf("par=%d: checkpoint holds %d cells, want %d", par, cp2.Len(), s1.completed)
+		}
+		g2 := &Grid{Title: "G"}
+		reg := telemetry.New()
+		o2 := Options{Parallelism: par, Checkpoint: cp2, Metrics: reg}
+		s2 := runJobsContext(context.Background(), o2, "scope", gridJobs(g2, workloads, series))
+		if err := cp2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if s2.restored != s1.completed || s2.completed != total-s1.completed {
+			t.Fatalf("par=%d: resume stats %+v after first pass %+v", par, s2, s1)
+		}
+		if got := reg.Counter("engine.jobs_restored").Value(); got != int64(s2.restored) {
+			t.Fatalf("par=%d: engine.jobs_restored = %d, want %d", par, got, s2.restored)
+		}
+		if got := g2.String(); got != want {
+			t.Fatalf("par=%d: resumed grid differs from uninterrupted run:\n--- resumed ---\n%s--- want ---\n%s",
+				par, got, want)
+		}
+
+		// Third pass: everything restores; nothing runs.
+		cp3, err := OpenCheckpoint(path, "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g3 := &Grid{Title: "G"}
+		s3 := runJobsContext(context.Background(), Options{Parallelism: par, Checkpoint: cp3}, "scope",
+			gridJobs(g3, workloads, series))
+		if err := cp3.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if s3.restored != total || s3.completed != 0 {
+			t.Fatalf("par=%d: full-restore stats %+v", par, s3)
+		}
+		if got := g3.String(); got != want {
+			t.Fatalf("par=%d: fully restored grid differs:\n%s", par, got)
+		}
+	}
+}
+
+// cancelAfter cancels a context once n jobs have finished — a deterministic
+// stand-in for a user's Ctrl-C landing mid-sweep.
+type cancelAfter struct {
+	mu     sync.Mutex
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) JobsQueued([]string)                              {}
+func (c *cancelAfter) JobStarted(int, string, int)                      {}
+func (c *cancelAfter) JobFailed(int, string, int, time.Duration, error) {}
+func (c *cancelAfter) JobFinished(int, string, int, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n == 0 {
+		c.cancel()
+	}
+}
+
+// TestRunnerCheckpointResume is the end-to-end determinism proof on a real
+// runner: a Sensitivity sweep is interrupted after a few cells, resumed
+// from its checkpoint, and the resumed render must be byte-identical to an
+// uninterrupted run — at -j 1 and -j 8. This is the property that makes
+// resuming a day-long sweep trustworthy.
+func TestRunnerCheckpointResume(t *testing.T) {
+	base := QuickOptions()
+	base.Workloads = []string{"OLTP"}
+
+	ref := Sensitivity(context.Background(), base)
+	want := ref.HT.String() + ref.EIT.String()
+
+	for _, par := range []int{1, 8} {
+		path := filepath.Join(t.TempDir(), "sens.ckpt")
+
+		cp, err := OpenCheckpoint(path, "sens-fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		o := base
+		o.Parallelism = par
+		o.Checkpoint = cp
+		o.Observer = &cancelAfter{n: 3, cancel: cancel}
+		Sensitivity(ctx, o)
+		if err := cp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := mustCheckpointLen(t, path); n == 0 {
+			t.Fatalf("par=%d: interrupted run checkpointed nothing", par)
+		}
+
+		cp2, err := OpenCheckpoint(path, "sens-fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2 := base
+		o2.Parallelism = par
+		o2.Checkpoint = cp2
+		r := Sensitivity(context.Background(), o2)
+		if err := cp2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.HT.String() + r.EIT.String(); got != want {
+			t.Fatalf("par=%d: resumed Sensitivity differs from uninterrupted run:\n--- resumed ---\n%s--- want ---\n%s",
+				par, got, want)
+		}
+	}
+}
+
+func mustCheckpointLen(t *testing.T, path string) int {
+	t.Helper()
+	cp, err := OpenCheckpoint(path, "sens-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	return cp.Len()
+}
+
+// TestDegradedSweepRenderGoldens runs the renderGrid shape through a real
+// degraded sweep — the (Web, stms) job panics under Degrade — and asserts
+// all three renderers produce exactly the missing-cell goldens pinned in
+// render_test.go: a failed cell is indistinguishable from a never-measured
+// one in every output format.
+func TestDegradedSweepRenderGoldens(t *testing.T) {
+	g := &Grid{Title: "Coverage"}
+	cell := func(w, s string, v float64) Job {
+		return Job{
+			Label:   w + "/" + s,
+			Run:     func() any { return v },
+			Collect: func(got any) { g.Add(w, s, got.(float64)) },
+		}
+	}
+	jobs := []Job{
+		cell("OLTP", "domino", 1.5),
+		cell("OLTP", "stms", 0.5),
+		cell("Web", "domino", 1.0),
+		cell("Web", "stms", 0),
+	}
+	jobs[3].Run = func() any { panic("simulated cell failure") }
+	stats := runJobsContext(context.Background(),
+		Options{Parallelism: 2, FaultPolicy: Degrade}, "", jobs)
+	if stats.failed != 1 || stats.completed != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got, want := g.String(), renderGrid().String(); got != want {
+		t.Fatalf("degraded table differs from missing-cell golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if got, want := g.CSV(), renderGrid().CSV(); got != want {
+		t.Fatalf("degraded csv differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if got, want := g.Bars(4), renderGrid().Bars(4); got != want {
+		t.Fatalf("degraded bars differ:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCorruptCheckpointEntryReruns plants an entry whose stored result
+// cannot decode into the job's type: the restore must be skipped — the
+// cell re-runs — rather than aborting or collecting garbage.
+func TestCorruptCheckpointEntryReruns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	cp, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store a string where the job expects a float64.
+	cp.append(checkpointKey("scope", "A/s0"), "scope/A/s0", "not-a-number")
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Grid{}
+	stats := runJobsContext(context.Background(), Options{Parallelism: 1, Checkpoint: cp2},
+		"scope", gridJobs(g, []string{"A"}, []string{"s0"}))
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.restored != 0 || stats.completed != 1 {
+		t.Fatalf("stats = %+v, want the corrupt cell re-run", stats)
+	}
+	if v, ok := g.Lookup("A", "s0"); !ok || v != 0 {
+		t.Fatalf("cell = %v ok=%v, want fresh 0", v, ok)
+	}
+	_ = os.Remove(path)
+}

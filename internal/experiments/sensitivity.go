@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"domino/internal/core"
@@ -38,7 +39,7 @@ type SensitivityResult struct {
 }
 
 // Sensitivity runs Figures 9 and 10.
-func Sensitivity(o Options) *SensitivityResult {
+func Sensitivity(ctx context.Context, o Options) *SensitivityResult {
 	// The paper's sweep: 1M..64M HT entries; 256K..8M EIT rows. Scaled.
 	htSizes := []int{1 << 20, 4 << 20, 8 << 20, 16 << 20, 64 << 20}
 	eitRows := []int{256 << 10, 512 << 10, 1 << 20, 2 << 20, 8 << 20}
@@ -60,6 +61,7 @@ func Sensitivity(o Options) *SensitivityResult {
 				Collect: func(v any) {
 					res.HT.Add(wp.Name, sizeLabel(size, "entries"), v.(float64))
 				},
+				Restore: restoreJSON[float64](),
 			})
 		}
 		for _, rows := range eitRows {
@@ -72,10 +74,11 @@ func Sensitivity(o Options) *SensitivityResult {
 				Collect: func(v any) {
 					res.EIT.Add(wp.Name, sizeLabel(rows, "rows"), v.(float64))
 				},
+				Restore: restoreJSON[float64](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, "sensitivity", jobs)
 	return res
 }
 

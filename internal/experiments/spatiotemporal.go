@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"domino/internal/dram"
 	"domino/internal/prefetch"
 )
@@ -13,7 +16,7 @@ type SpatioTemporalResult struct {
 }
 
 // SpatioTemporal reproduces Figure 16 at the given degree.
-func SpatioTemporal(o Options, degree int) *SpatioTemporalResult {
+func SpatioTemporal(ctx context.Context, o Options, degree int) *SpatioTemporalResult {
 	res := &SpatioTemporalResult{
 		Coverage: &Grid{Title: "Fig. 16: spatio-temporal prefetching coverage", Unit: "%"},
 	}
@@ -32,9 +35,10 @@ func SpatioTemporal(o Options, degree int) *SpatioTemporalResult {
 				Collect: func(v any) {
 					res.Coverage.Add(wp.Name, name, v.(*prefetch.Result).Coverage())
 				},
+				Restore: restoreJSON[*prefetch.Result](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("spatiotemporal/degree=%d", degree), jobs)
 	return res
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"domino/internal/config"
@@ -27,7 +29,7 @@ type SpeedupResult struct {
 // are keyed on that workload's baseline job through a sync.OnceValue, so
 // the baseline is simulated exactly once per workload no matter which
 // worker gets there first.
-func Speedup(o Options, degree int) *SpeedupResult {
+func Speedup(ctx context.Context, o Options, degree int) *SpeedupResult {
 	mc := config.DefaultMachine().ScaleLLCForTrace(o.Scale)
 	res := &SpeedupResult{
 		Speedup:     &Grid{Title: "Fig. 14: speedup over no-prefetcher baseline (timing model)"},
@@ -46,6 +48,7 @@ func Speedup(o Options, degree int) *SpeedupResult {
 			Collect: func(v any) {
 				res.BaselineIPC[wp.Name] = v.(*timing.Result).IPC()
 			},
+			Restore: restoreJSON[*timing.Result](),
 		})
 		for _, name := range PrefetcherNames {
 			jobs = append(jobs, Job{
@@ -62,10 +65,11 @@ func Speedup(o Options, degree int) *SpeedupResult {
 					res.Speedup.Add(wp.Name, name, sp)
 					perPrefetcher[name] = append(perPrefetcher[name], sp)
 				},
+				Restore: restoreJSON[float64](),
 			})
 		}
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("speedup/degree=%d", degree), jobs)
 	for name, sps := range perPrefetcher {
 		res.GMean[name] = stats.GeoMean(sps)
 	}

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"domino/internal/config"
 	"domino/internal/dram"
 	"domino/internal/multicore"
@@ -22,7 +25,7 @@ type UtilizationResult struct {
 
 // Utilization runs the Section V-D study. Multicore runs measure whole
 // runs (no warmup rebase); Options.Warmup is ignored.
-func Utilization(o Options, degree int) *UtilizationResult {
+func Utilization(ctx context.Context, o Options, degree int) *UtilizationResult {
 	mc := config.DefaultMachine() // full Table I chip: 4 cores share the 4 MB LLC
 	res := &UtilizationResult{
 		BaselineGBps: &Grid{Title: "Sec. V-D: consumed off-chip bandwidth (GB/s), 4-core chip"},
@@ -38,6 +41,7 @@ func Utilization(o Options, degree int) *UtilizationResult {
 			Collect: func(v any) {
 				res.BaselineGBps.Add(wp.Name, "baseline", v.(*multicore.Result).BandwidthGBps)
 			},
+			Restore: restoreJSON[*multicore.Result](),
 		}, Job{
 			Label: wp.Name + "/domino",
 			Run: func() any {
@@ -52,8 +56,9 @@ func Utilization(o Options, degree int) *UtilizationResult {
 				res.BaselineGBps.Add(wp.Name, "domino", dom.BandwidthGBps)
 				res.Utilization.Add(wp.Name, "domino", dom.BusUtilization)
 			},
+			Restore: restoreJSON[*multicore.Result](),
 		})
 	}
-	runJobs(o, jobs)
+	runJobsContext(ctx, o, fmt.Sprintf("utilization/degree=%d", degree), jobs)
 	return res
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -124,6 +125,51 @@ func (h *Histogram) Labels() []string {
 		out = append(out, "+")
 	}
 	return out
+}
+
+// histogramJSON is the wire form of a Histogram. The fields are unexported
+// on the struct itself (the bucket layout is an invariant Observe relies
+// on), so checkpointing (internal/experiments) round-trips through this
+// explicit representation instead.
+type histogramJSON struct {
+	Bounds   []int64 `json:"bounds"`
+	Counts   []int64 `json:"counts"`
+	Overflow int64   `json:"overflow"`
+	Total    int64   `json:"total"`
+	Sum      int64   `json:"sum"`
+}
+
+// MarshalJSON encodes the full histogram state.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Bounds:   h.bounds,
+		Counts:   h.counts,
+		Overflow: h.overflow,
+		Total:    h.total,
+		Sum:      h.sum,
+	})
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) != len(w.Bounds) {
+		return fmt.Errorf("stats: histogram JSON has %d counts for %d bounds", len(w.Counts), len(w.Bounds))
+	}
+	for i := 1; i < len(w.Bounds); i++ {
+		if w.Bounds[i] <= w.Bounds[i-1] {
+			return fmt.Errorf("stats: histogram JSON bounds not increasing at %d", i)
+		}
+	}
+	h.bounds = w.Bounds
+	h.counts = w.Counts
+	h.overflow = w.Overflow
+	h.total = w.Total
+	h.sum = w.Sum
+	return nil
 }
 
 // String renders the cumulative distribution compactly for logs and tests.

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := StreamLengthHistogram()
+	for _, v := range []int64{0, 1, 2, 3, 17, 128, 129, 5000} {
+		h.Observe(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Histogram{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(h, got) {
+		t.Fatalf("round trip mismatch:\n have %+v\n want %+v", got, h)
+	}
+	if got.Mean() != h.Mean() || got.Total() != h.Total() {
+		t.Fatalf("derived stats drifted: mean %v vs %v, total %d vs %d",
+			got.Mean(), h.Mean(), got.Total(), h.Total())
+	}
+	// The restored histogram must keep working as an accumulator.
+	got.Observe(7)
+	if got.Total() != h.Total()+1 {
+		t.Fatalf("restored histogram not observable: total %d", got.Total())
+	}
+}
+
+func TestHistogramJSONRejectsCorrupt(t *testing.T) {
+	for name, in := range map[string]string{
+		"count/bound mismatch": `{"bounds":[1,2],"counts":[0],"overflow":0,"total":0,"sum":0}`,
+		"non-increasing":       `{"bounds":[4,2],"counts":[0,0],"overflow":0,"total":0,"sum":0}`,
+		"not an object":        `[1,2,3]`,
+	} {
+		h := &Histogram{}
+		if err := json.Unmarshal([]byte(in), h); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}

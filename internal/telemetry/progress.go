@@ -11,13 +11,17 @@ import (
 
 // JobObserver receives the experiment engine's per-job lifecycle events.
 // The engine calls JobsQueued once per job batch before any job starts,
-// then JobStarted/JobFinished from worker goroutines; implementations
-// must be safe for concurrent use. Indices are positions within the most
-// recent batch; labels identify the simulation cell ("OLTP/domino").
+// then JobStarted and exactly one of JobFinished/JobFailed per started job
+// from worker goroutines; implementations must be safe for concurrent use.
+// Indices are positions within the most recent batch; labels identify the
+// simulation cell ("OLTP/domino"). JobFailed fires when a job panics or
+// exceeds the engine's job timeout — under a degrading fault policy the
+// sweep continues and the cell goes missing from the rendered grid.
 type JobObserver interface {
 	JobsQueued(labels []string)
 	JobStarted(index int, label string, worker int)
 	JobFinished(index int, label string, worker int, d time.Duration)
+	JobFailed(index int, label string, worker int, d time.Duration, err error)
 }
 
 // MultiObserver fans events out to every non-nil observer, in order. It
@@ -59,6 +63,12 @@ func (m multiObserver) JobFinished(i int, label string, worker int, d time.Durat
 	}
 }
 
+func (m multiObserver) JobFailed(i int, label string, worker int, d time.Duration, err error) {
+	for _, o := range m {
+		o.JobFailed(i, label, worker, d, err)
+	}
+}
+
 // Progress renders a live single-line progress indicator with an ETA —
 // "\r[done/total] running=N eta 42s  OLTP/domino" — to w (stderr in
 // cmd/dominosim). The line is redrawn on every event and cleared by
@@ -69,6 +79,7 @@ type Progress struct {
 	start   time.Time
 	total   int
 	done    int
+	failed  int
 	running int
 	width   int
 
@@ -109,6 +120,18 @@ func (p *Progress) JobFinished(_ int, label string, _ int, _ time.Duration) {
 	p.render(label)
 }
 
+// JobFailed implements JobObserver. Failed jobs advance the progress count
+// (the cell is resolved, just not with a result) and a failed=N field
+// appears on the line.
+func (p *Progress) JobFailed(_ int, label string, _ int, _ time.Duration, _ error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running--
+	p.done++
+	p.failed++
+	p.render(label)
+}
+
 // render redraws the progress line; the caller holds p.mu.
 func (p *Progress) render(label string) {
 	eta := "?"
@@ -117,7 +140,11 @@ func (p *Progress) render(label string) {
 		left := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
 		eta = left.Round(time.Second).String()
 	}
-	line := fmt.Sprintf("[%d/%d] running=%d eta %s  %s", p.done, p.total, p.running, eta, label)
+	failed := ""
+	if p.failed > 0 {
+		failed = fmt.Sprintf(" failed=%d", p.failed)
+	}
+	line := fmt.Sprintf("[%d/%d] running=%d%s eta %s  %s", p.done, p.total, p.running, failed, eta, label)
 	pad := 0
 	if len(line) < p.width {
 		pad = p.width - len(line)
@@ -135,7 +162,11 @@ func (p *Progress) Finish() {
 		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.width))
 	}
 	if p.total > 0 {
-		fmt.Fprintf(p.w, "%d jobs in %s\n", p.done, p.now().Sub(p.start).Round(time.Millisecond))
+		if p.failed > 0 {
+			fmt.Fprintf(p.w, "%d jobs (%d failed) in %s\n", p.done, p.failed, p.now().Sub(p.start).Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(p.w, "%d jobs in %s\n", p.done, p.now().Sub(p.start).Round(time.Millisecond))
+		}
 	}
 }
 
@@ -157,6 +188,7 @@ type timingRow struct {
 	label  string
 	worker int
 	d      time.Duration
+	err    error
 }
 
 // NewTiming returns an empty Timing collector.
@@ -185,6 +217,15 @@ func (t *Timing) JobFinished(i int, label string, worker int, d time.Duration) {
 	t.rows = append(t.rows, timingRow{index: t.base + i, label: label, worker: worker, d: d})
 }
 
+// JobFailed implements JobObserver; the row appears in the table with the
+// failure appended, so a degraded sweep's timing view shows which cells
+// died and how long they burned before doing so.
+func (t *Timing) JobFailed(i int, label string, worker int, d time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, timingRow{index: t.base + i, label: label, worker: worker, d: d, err: err})
+}
+
 // WriteTable renders the per-job wall times in job order, with the summed
 // job time and the elapsed wall time (their ratio is the effective
 // parallelism).
@@ -205,6 +246,10 @@ func (t *Timing) WriteTable(w io.Writer) {
 	var sum time.Duration
 	for _, r := range rows {
 		sum += r.d
+		if r.err != nil {
+			fmt.Fprintf(w, "%-*s %7d %12s  FAILED: %v\n", width, r.label, r.worker, r.d.Round(time.Microsecond), r.err)
+			continue
+		}
 		fmt.Fprintf(w, "%-*s %7d %12s\n", width, r.label, r.worker, r.d.Round(time.Microsecond))
 	}
 	wall := time.Duration(0)

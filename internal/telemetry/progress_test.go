@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -78,6 +79,69 @@ func TestTimingTableOrderedByJob(t *testing.T) {
 	}
 	if !strings.Contains(out, "35ms") {
 		t.Fatalf("summed job time missing:\n%s", out)
+	}
+}
+
+// TestProgressRendersFailures checks failed jobs advance the count, add a
+// failed=N field, and change the summary — and that a failure-free run's
+// output carries no failure text at all (the byte-compat contract with the
+// pre-resilience renderer).
+func TestProgressRendersFailures(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb)
+	p.now = (&fakeClock{}).now
+
+	p.JobsQueued([]string{"a", "b"})
+	p.JobStarted(0, "a", 0)
+	p.JobFinished(0, "a", 0, time.Second)
+	p.JobStarted(1, "b", 0)
+	p.JobFailed(1, "b", 0, time.Second, errTest)
+	p.Finish()
+
+	out := sb.String()
+	if !strings.Contains(out, "failed=1") {
+		t.Fatalf("missing failed field:\n%q", out)
+	}
+	if !strings.Contains(out, "[2/2]") {
+		t.Fatalf("failed job did not advance progress:\n%q", out)
+	}
+	if !strings.Contains(out, "2 jobs (1 failed) in") {
+		t.Fatalf("summary does not report failures:\n%q", out)
+	}
+}
+
+var errTest = fmt.Errorf("panicked: boom")
+
+func TestProgressCleanRunHasNoFailureText(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb)
+	p.now = (&fakeClock{}).now
+	p.JobsQueued([]string{"a"})
+	p.JobFinished(0, "a", 0, time.Second)
+	p.Finish()
+	if strings.Contains(sb.String(), "failed") {
+		t.Fatalf("clean run mentions failures:\n%q", sb.String())
+	}
+}
+
+// TestTimingTableMarksFailedRows checks a failed cell appears in the
+// timing table with its burn time and cause.
+func TestTimingTableMarksFailedRows(t *testing.T) {
+	tm := NewTiming()
+	tm.now = (&fakeClock{}).now
+	tm.JobsQueued([]string{"w/a", "w/b"})
+	tm.JobFinished(0, "w/a", 0, 10*time.Millisecond)
+	tm.JobFailed(1, "w/b", 1, 20*time.Millisecond, errTest)
+
+	var sb strings.Builder
+	tm.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "FAILED: panicked: boom") {
+		t.Fatalf("failed row not marked:\n%s", out)
+	}
+	// The failed cell's burn time still counts toward the total.
+	if !strings.Contains(out, "30ms") {
+		t.Fatalf("failed row's time missing from total:\n%s", out)
 	}
 }
 

@@ -29,6 +29,13 @@ var magic = [8]byte{'D', 'O', 'M', 'T', 'R', 'C', 1, 0}
 
 const recordSize = 8 + 8 + 1 + 2
 
+// maxPrealloc caps how many records Read preallocates up front. The count
+// comes from the file header, so a truncated or hostile file can declare
+// up to 2^64 records; trusting it verbatim would turn a 16-byte input into
+// a multi-exabyte allocation. Past the cap append grows the slice only as
+// records actually arrive.
+const maxPrealloc = 1 << 20
+
 // ErrBadMagic reports that a file is not a Domino trace file.
 var ErrBadMagic = errors.New("trace: bad magic (not a Domino trace file)")
 
@@ -67,7 +74,11 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{Accesses: make([]mem.Access, 0, fr.Count())}
+	prealloc := fr.Count()
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	t := &Trace{Accesses: make([]mem.Access, 0, prealloc)}
 	for {
 		a, ok := fr.Next()
 		if !ok {
@@ -84,10 +95,11 @@ func Read(r io.Reader) (*Trace, error) {
 // FileReader streams accesses from a binary trace file without loading the
 // whole trace in memory.
 type FileReader struct {
-	br    *bufio.Reader
-	count uint64
-	read  uint64
-	err   error
+	br      *bufio.Reader
+	count   uint64
+	read    uint64
+	drained bool // end-of-trace check for trailing bytes already ran
+	err     error
 }
 
 // NewFileReader validates the header of r and returns a streaming reader.
@@ -114,9 +126,26 @@ func (f *FileReader) Count() uint64 { return f.count }
 func (f *FileReader) Err() error { return f.err }
 
 // Next returns the next access. It returns false at end of trace or on
-// error; check Err to distinguish.
+// error; check Err to distinguish. Once the declared record count has been
+// consumed, Next verifies the file actually ends there: data past the last
+// record means the header's count disagrees with the body, and Err reports
+// it rather than silently dropping the tail.
 func (f *FileReader) Next() (mem.Access, bool) {
-	if f.err != nil || f.read >= f.count {
+	if f.err != nil {
+		return mem.Access{}, false
+	}
+	if f.read >= f.count {
+		if !f.drained {
+			f.drained = true
+			switch _, err := f.br.ReadByte(); err {
+			case nil:
+				f.err = fmt.Errorf("trace: trailing data after %d declared records", f.count)
+			case io.EOF:
+				// Clean end of file, exactly at the declared count.
+			default:
+				f.err = fmt.Errorf("trace: after last record: %w", err)
+			}
+		}
 		return mem.Access{}, false
 	}
 	var rec [recordSize]byte

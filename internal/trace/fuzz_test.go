@@ -18,6 +18,17 @@ func FuzzReadArbitraryBytes(f *testing.F) {
 	t.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
 	_ = Write(&buf, t)
 	f.Add(buf.Bytes())
+	// Truncated record: the header declares two records, the body holds one.
+	two := &Trace{}
+	two.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
+	two.Append(mem.Access{PC: 4, Addr: 5, Gap: 6})
+	var tbuf bytes.Buffer
+	_ = Write(&tbuf, two)
+	f.Add(tbuf.Bytes()[:tbuf.Len()-recordSize])
+	// Trailing garbage: bytes past the last declared record.
+	f.Add(append(append([]byte{}, buf.Bytes()...), 0xDE, 0xAD))
+	// Huge declared count with an empty body.
+	f.Add(append([]byte("DOMTRC\x01\x00"), 0, 0, 0, 0, 0, 0, 0, 0x10))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tr, err := Read(bytes.NewReader(raw))
 		if err == nil && tr == nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -147,6 +148,62 @@ func TestTruncatedFile(t *testing.T) {
 	raw := buf.Bytes()[:buf.Len()-5]
 	if _, err := Read(bytes.NewReader(raw)); err == nil {
 		t.Fatal("expected error on truncated file")
+	}
+}
+
+// TestHugeCountHeader feeds Read a header declaring 2^60 records followed
+// by no data at all. Read must fail on the missing first record without
+// first attempting a 2^60-element preallocation — the count is untrusted
+// input and the initial allocation is clamped.
+func TestHugeCountHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(1)<<60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected error for a count the body cannot back")
+	}
+}
+
+// TestTrailingGarbage checks that bytes after the last declared record are
+// reported instead of silently ignored: a mismatched header count means
+// the file is corrupt (or was appended to), and dropping the tail would
+// quietly simulate a different trace than the one on disk.
+func TestTrailingGarbage(t *testing.T) {
+	tr := sample(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("extra")
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected error on trailing garbage")
+	}
+
+	// The streaming reader reports it via Err after the declared records
+	// have been consumed — all three records are still delivered first.
+	buf.Reset()
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xFF)
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := fr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d records, want 3", n)
+	}
+	if fr.Err() == nil {
+		t.Fatal("Err() = nil, want trailing-data error")
 	}
 }
 
