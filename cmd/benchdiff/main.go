@@ -1,0 +1,393 @@
+// Command benchdiff turns `go test -bench` output into a structured report
+// (BENCH_PR5.json) and gates it against a checked-in baseline
+// (scripts/bench_baseline.json). It is the benchmark-regression harness
+// behind scripts/bench.sh and the CI bench job.
+//
+// Three kinds of checks run, from most to least portable:
+//
+//  1. Same-run Flat-vs-Map ratios. The flathash microbenchmarks measure the
+//     flat kernel and the builtin map on identical workloads in one
+//     process, so the ratio is machine-independent. The baseline's
+//     flat_vs_map section lists the minimum required speedup per benchmark
+//     family.
+//  2. Allocation counts. allocs/op is deterministic up to amortisation, so
+//     a baseline-recorded count may not be exceeded (with +1 slack for
+//     amortised growth rounding) on any machine.
+//  3. Absolute ns/op. Only meaningful on the machine that produced the
+//     baseline, so these run when the baseline's cpu string matches the
+//     current run's: no benchmark may regress more than -threshold percent,
+//     and the map_baselines section (ns/op of the pre-migration builtin-map
+//     implementations) must stay beaten by required_speedups.
+//
+// Usage:
+//
+//	benchdiff -in bench.txt [-baseline scripts/bench_baseline.json]
+//	          [-out BENCH_PR5.json] [-threshold 15] [-refresh]
+//
+// -refresh rewrites the baseline's measured sections from the current run,
+// keeping map_baselines, required_speedups and flat_vs_map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement, keyed in Run.Benchmarks by
+// "<package>.<name>" with the -GOMAXPROCS suffix stripped.
+type Result struct {
+	Iterations  uint64  `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Run is a parsed `go test -bench` invocation.
+type Run struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// Raw preserves the benchstat-compatible input lines (headers and
+	// results); `jq -r '.raw[]' BENCH_PR5.json | benchstat /dev/stdin`
+	// reproduces the usual tooling view.
+	Raw []string `json:"raw"`
+}
+
+// Baseline is the checked-in reference (scripts/bench_baseline.json).
+type Baseline struct {
+	Note string `json:"note,omitempty"`
+	// CPU identifies the machine the measured sections were captured on;
+	// absolute ns/op checks only run when it matches the current run.
+	CPU        string            `json:"cpu"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// MapBaselines records ns/op of the pre-migration builtin-map
+	// implementations, captured on CPU before the flathash migration.
+	MapBaselines map[string]float64 `json:"map_baselines,omitempty"`
+	// RequiredSpeedups is the minimum MapBaselines/current ns/op ratio.
+	RequiredSpeedups map[string]float64 `json:"required_speedups,omitempty"`
+	// FlatVsMap lists benchmark families measured as <family>/Flat and
+	// <family>/Map in the same run, with the minimum Map/Flat ns/op ratio.
+	FlatVsMap map[string]float64 `json:"flat_vs_map,omitempty"`
+}
+
+// Check is one gate's outcome, recorded in the report.
+type Check struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`   // flat_vs_map | allocs | regression | speedup
+	Status string `json:"status"` // pass | fail | skip
+	Detail string `json:"detail"`
+}
+
+// Speedup compares a benchmark against its recorded map baseline.
+type Speedup struct {
+	MapNsPerOp float64 `json:"map_ns_per_op"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the BENCH_PR5.json payload.
+type Report struct {
+	GeneratedBy string             `json:"generated_by"`
+	Run         *Run               `json:"run"`
+	Speedups    map[string]Speedup `json:"speedups_vs_map_baseline,omitempty"`
+	Checks      []Check            `json:"checks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// parseBench reads `go test -bench` text output. Package headers ("pkg:")
+// scope subsequent result lines; results before any header keep their bare
+// name.
+func parseBench(r io.Reader) (*Run, error) {
+	run := &Run{Benchmarks: map[string]Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			run.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+				strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:") {
+				run.Raw = append(run.Raw, line)
+			}
+			continue
+		}
+		run.Raw = append(run.Raw, line)
+		name := trimProcs(m[1])
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		iters, err := strconv.ParseUint(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse iterations in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse ns/op in %q: %v", line, err)
+		}
+		res := Result{Iterations: iters, NsPerOp: ns}
+		for _, metric := range strings.Split(m[4], "\t") {
+			fields := strings.Fields(metric)
+			if len(fields) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[1] {
+			case "B/op":
+				res.BPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		// go test repeats lines under -count; keep the minimum ns/op, the
+		// standard noise-robust summary for a threshold gate.
+		if prev, ok := run.Benchmarks[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			run.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	return run, nil
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark names.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// runChecks evaluates every gate. thresholdPct is the allowed ns/op
+// regression (e.g. 15 = +15%) against same-machine baselines.
+func runChecks(run *Run, base *Baseline, thresholdPct float64) []Check {
+	var checks []Check
+	add := func(c Check) { checks = append(checks, c) }
+	sameCPU := base.CPU != "" && base.CPU == run.CPU
+
+	for _, fam := range sortedKeys(base.FlatVsMap) {
+		want := base.FlatVsMap[fam]
+		flat, okF := run.Benchmarks[fam+"/Flat"]
+		mp, okM := run.Benchmarks[fam+"/Map"]
+		c := Check{Name: fam, Kind: "flat_vs_map"}
+		switch {
+		case !okF || !okM:
+			c.Status, c.Detail = "skip", "Flat or Map variant not in this run"
+		case flat.NsPerOp*want > mp.NsPerOp:
+			c.Status = "fail"
+			c.Detail = fmt.Sprintf("Flat %.1f ns/op vs Map %.1f ns/op: %.2fx, want >= %.2fx",
+				flat.NsPerOp, mp.NsPerOp, mp.NsPerOp/flat.NsPerOp, want)
+		default:
+			c.Status = "pass"
+			c.Detail = fmt.Sprintf("Flat %.1f ns/op vs Map %.1f ns/op: %.2fx >= %.2fx",
+				flat.NsPerOp, mp.NsPerOp, mp.NsPerOp/flat.NsPerOp, want)
+		}
+		add(c)
+	}
+
+	for _, name := range sortedKeys(base.Benchmarks) {
+		ref := base.Benchmarks[name]
+		cur, ok := run.Benchmarks[name]
+		if !ok {
+			add(Check{Name: name, Kind: "regression", Status: "skip", Detail: "not in this run"})
+			continue
+		}
+		// allocs/op is machine-independent; +1 slack absorbs amortised
+		// growth landing on the other side of an iteration-count boundary.
+		c := Check{Name: name, Kind: "allocs"}
+		if cur.AllocsPerOp > ref.AllocsPerOp+1 {
+			c.Status = "fail"
+			c.Detail = fmt.Sprintf("%.0f allocs/op, baseline %.0f", cur.AllocsPerOp, ref.AllocsPerOp)
+		} else {
+			c.Status = "pass"
+			c.Detail = fmt.Sprintf("%.0f allocs/op <= baseline %.0f (+1)", cur.AllocsPerOp, ref.AllocsPerOp)
+		}
+		add(c)
+
+		c = Check{Name: name, Kind: "regression"}
+		if !sameCPU {
+			c.Status = "skip"
+			c.Detail = fmt.Sprintf("cpu %q != baseline cpu %q: absolute ns/op not comparable", run.CPU, base.CPU)
+		} else if limit := ref.NsPerOp * (1 + thresholdPct/100); cur.NsPerOp > limit {
+			c.Status = "fail"
+			c.Detail = fmt.Sprintf("%.1f ns/op, baseline %.1f (+%.0f%% limit %.1f)",
+				cur.NsPerOp, ref.NsPerOp, thresholdPct, limit)
+		} else {
+			c.Status = "pass"
+			c.Detail = fmt.Sprintf("%.1f ns/op vs baseline %.1f, within +%.0f%%",
+				cur.NsPerOp, ref.NsPerOp, thresholdPct)
+		}
+		add(c)
+	}
+
+	for _, name := range sortedKeys(base.RequiredSpeedups) {
+		want := base.RequiredSpeedups[name]
+		c := Check{Name: name, Kind: "speedup"}
+		mapNs, okB := base.MapBaselines[name]
+		cur, okR := run.Benchmarks[name]
+		switch {
+		case !okB:
+			c.Status, c.Detail = "skip", "no map baseline recorded"
+		case !okR:
+			c.Status, c.Detail = "skip", "not in this run"
+		case !sameCPU:
+			c.Status = "skip"
+			c.Detail = "map baseline was captured on a different cpu"
+		case mapNs < want*cur.NsPerOp:
+			c.Status = "fail"
+			c.Detail = fmt.Sprintf("%.2fx over map baseline (%.1f / %.1f ns/op), want >= %.2fx",
+				mapNs/cur.NsPerOp, mapNs, cur.NsPerOp, want)
+		default:
+			c.Status = "pass"
+			c.Detail = fmt.Sprintf("%.2fx over map baseline (%.1f / %.1f ns/op) >= %.2fx",
+				mapNs/cur.NsPerOp, mapNs, cur.NsPerOp, want)
+		}
+		add(c)
+	}
+	return checks
+}
+
+// speedups computes the map-baseline comparison table for the report.
+func speedups(run *Run, base *Baseline) map[string]Speedup {
+	if len(base.MapBaselines) == 0 {
+		return nil
+	}
+	out := map[string]Speedup{}
+	for name, mapNs := range base.MapBaselines {
+		if cur, ok := run.Benchmarks[name]; ok && cur.NsPerOp > 0 {
+			out[name] = Speedup{MapNsPerOp: mapNs, NsPerOp: cur.NsPerOp, Speedup: mapNs / cur.NsPerOp}
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "go test -bench output file (default stdin)")
+		basePath  = flag.String("baseline", "scripts/bench_baseline.json", "baseline json")
+		outPath   = flag.String("out", "BENCH_PR5.json", "report output path (empty to skip)")
+		threshold = flag.Float64("threshold", 15, "allowed ns/op regression, percent")
+		refresh   = flag.Bool("refresh", false, "rewrite the baseline's measured sections from this run")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	run, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *refresh {
+		base.CPU = run.CPU
+		base.Benchmarks = run.Benchmarks
+		if err := writeJSON(*basePath, base); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: refreshed %s from %d benchmarks (cpu: %s)\n",
+			*basePath, len(run.Benchmarks), run.CPU)
+		return
+	}
+
+	checks := runChecks(run, base, *threshold)
+	report := &Report{
+		GeneratedBy: "cmd/benchdiff",
+		Run:         run,
+		Speedups:    speedups(run, base),
+		Checks:      checks,
+	}
+	if *outPath != "" {
+		if err := writeJSON(*outPath, report); err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := 0
+	for _, c := range checks {
+		if c.Status == "fail" {
+			failed++
+		}
+		fmt.Printf("%-10s %-12s %s: %s\n", c.Status, c.Kind, c.Name, c.Detail)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d checks, all passing (report: %s)\n", len(checks), *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: domino/internal/flathash
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkGetHit/Flat-4         	63424245	        18.10 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGetHit/Map-4          	45322412	        26.20 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGetMiss/Flat-4        	45021890	        26.30 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGetMiss/Map-4         	56203914	        21.20 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	domino/internal/flathash	4.211s
+pkg: domino/internal/stms
+BenchmarkTrainLookup-4         	 8145375	       146.5 ns/op	      36 B/op	       0 allocs/op
+BenchmarkTrainLookup-4         	 7334754	       151.7 ns/op	      36 B/op	       0 allocs/op
+PASS
+ok  	domino/internal/stms	4.852s
+`
+
+func parseSample(t *testing.T) *Run {
+	t.Helper()
+	run, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestParseBench(t *testing.T) {
+	run := parseSample(t)
+	if run.Goos != "linux" || run.Goarch != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", run.Goos, run.Goarch)
+	}
+	if run.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Fatalf("cpu = %q", run.CPU)
+	}
+	if len(run.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5: %+v", len(run.Benchmarks), run.Benchmarks)
+	}
+	hit, ok := run.Benchmarks["domino/internal/flathash.BenchmarkGetHit/Flat"]
+	if !ok {
+		t.Fatalf("GetHit/Flat missing; keys: %v", sortedKeys(run.Benchmarks))
+	}
+	if hit.NsPerOp != 18.10 || hit.Iterations != 63424245 {
+		t.Fatalf("GetHit/Flat = %+v", hit)
+	}
+	// -count repetition keeps the minimum ns/op.
+	stms := run.Benchmarks["domino/internal/stms.BenchmarkTrainLookup"]
+	if stms.NsPerOp != 146.5 {
+		t.Fatalf("TrainLookup min ns/op = %v, want 146.5", stms.NsPerOp)
+	}
+	if stms.BPerOp != 36 || stms.AllocsPerOp != 0 {
+		t.Fatalf("TrainLookup mem metrics = %+v", stms)
+	}
+}
+
+func TestParseBenchRawIsBenchstatCompatible(t *testing.T) {
+	run := parseSample(t)
+	for _, want := range []string{"goos: linux", "pkg: domino/internal/stms"} {
+		found := false
+		for _, l := range run.Raw {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("raw lines missing %q: %v", want, run.Raw)
+		}
+	}
+	for _, l := range run.Raw {
+		if strings.HasPrefix(l, "ok ") || strings.HasPrefix(l, "PASS") {
+			t.Fatalf("raw contains non-benchstat line %q", l)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok  x 0.1s\n")); err == nil {
+		t.Fatal("expected an error for output with no benchmarks")
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkGetHit/Flat-4": "BenchmarkGetHit/Flat",
+		"BenchmarkGetHit/Flat":   "BenchmarkGetHit/Flat",
+		"BenchmarkX-16":          "BenchmarkX",
+		"BenchmarkGrow/pre-mix":  "BenchmarkGrow/pre-mix",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func failures(checks []Check) []Check {
+	var out []Check
+	for _, c := range checks {
+		if c.Status == "fail" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestFlatVsMapCheck(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{FlatVsMap: map[string]float64{
+		"domino/internal/flathash.BenchmarkGetHit": 1.0, // 26.2/18.1 = 1.45x: pass
+	}}
+	if f := failures(runChecks(run, base, 15)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %+v", f)
+	}
+	// GetMiss Flat (26.3) is slower than Map (21.2): a 1.0x floor must fail.
+	base.FlatVsMap["domino/internal/flathash.BenchmarkGetMiss"] = 1.0
+	f := failures(runChecks(run, base, 15))
+	if len(f) != 1 || f[0].Kind != "flat_vs_map" {
+		t.Fatalf("failures = %+v, want one flat_vs_map failure", f)
+	}
+}
+
+func TestRegressionCheckSameCPU(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{
+		CPU: run.CPU,
+		Benchmarks: map[string]Result{
+			"domino/internal/stms.BenchmarkTrainLookup": {NsPerOp: 140, AllocsPerOp: 0},
+		},
+	}
+	// 146.5 vs 140 = +4.6%: inside a 15% threshold.
+	if f := failures(runChecks(run, base, 15)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %+v", f)
+	}
+	// A 4% threshold must trip.
+	f := failures(runChecks(run, base, 4))
+	if len(f) != 1 || f[0].Kind != "regression" {
+		t.Fatalf("failures = %+v, want one regression failure", f)
+	}
+}
+
+func TestRegressionSkippedAcrossCPUs(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{
+		CPU: "some other machine",
+		Benchmarks: map[string]Result{
+			// A wild regression in absolute terms...
+			"domino/internal/stms.BenchmarkTrainLookup": {NsPerOp: 1, AllocsPerOp: 0},
+		},
+	}
+	checks := runChecks(run, base, 15)
+	if f := failures(checks); len(f) != 0 {
+		t.Fatalf("cross-cpu run must not fail on absolute ns/op: %+v", f)
+	}
+	skipped := false
+	for _, c := range checks {
+		if c.Kind == "regression" && c.Status == "skip" {
+			skipped = true
+		}
+	}
+	if !skipped {
+		t.Fatalf("regression check not skipped: %+v", checks)
+	}
+}
+
+func TestAllocsCheckIsMachineIndependent(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{
+		CPU: "some other machine",
+		Benchmarks: map[string]Result{
+			"domino/internal/flathash.BenchmarkGetHit/Flat": {NsPerOp: 18, AllocsPerOp: 0},
+		},
+	}
+	// Baseline allocs 0, run allocs 0: pass even across machines.
+	if f := failures(runChecks(run, base, 15)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %+v", f)
+	}
+	// A run with more than baseline+1 allocs fails regardless of cpu.
+	run.Benchmarks["domino/internal/flathash.BenchmarkGetHit/Flat"] = Result{NsPerOp: 18, AllocsPerOp: 3}
+	f := failures(runChecks(run, base, 15))
+	if len(f) != 1 || f[0].Kind != "allocs" {
+		t.Fatalf("failures = %+v, want one allocs failure", f)
+	}
+}
+
+func TestRequiredSpeedups(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{
+		CPU: run.CPU,
+		MapBaselines: map[string]float64{
+			"domino/internal/stms.BenchmarkTrainLookup": 258,
+		},
+		RequiredSpeedups: map[string]float64{
+			"domino/internal/stms.BenchmarkTrainLookup": 1.3,
+		},
+	}
+	// 258/146.5 = 1.76x >= 1.3x.
+	if f := failures(runChecks(run, base, 15)); len(f) != 0 {
+		t.Fatalf("unexpected failures: %+v", f)
+	}
+	base.RequiredSpeedups["domino/internal/stms.BenchmarkTrainLookup"] = 2.0
+	f := failures(runChecks(run, base, 15))
+	if len(f) != 1 || f[0].Kind != "speedup" {
+		t.Fatalf("failures = %+v, want one speedup failure", f)
+	}
+	// On a different machine the map baseline is not comparable: skip.
+	base.CPU = "elsewhere"
+	if f := failures(runChecks(run, base, 15)); len(f) != 0 {
+		t.Fatalf("cross-cpu speedup must skip, got failures: %+v", f)
+	}
+}
+
+func TestSpeedupsTable(t *testing.T) {
+	run := parseSample(t)
+	base := &Baseline{MapBaselines: map[string]float64{
+		"domino/internal/stms.BenchmarkTrainLookup": 258,
+		"domino/internal/none.BenchmarkMissing":     100,
+	}}
+	sp := speedups(run, base)
+	if len(sp) != 1 {
+		t.Fatalf("speedups = %+v, want 1 entry", sp)
+	}
+	got := sp["domino/internal/stms.BenchmarkTrainLookup"]
+	if want := 258 / 146.5; got.Speedup < want-1e-9 || got.Speedup > want+1e-9 {
+		t.Fatalf("speedup = %v, want %v", got.Speedup, want)
+	}
+}

@@ -1,0 +1,102 @@
+package domino
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false,
+	"rewrite testdata/conformance_goldens.json from the current implementation")
+
+// conformanceGoldens pins the full trace-based evaluation of every
+// prefetcher on one canonical workload. The file was captured from the
+// pre-flathash map implementations of the metadata indexes (digram, stms,
+// isb, ghb), so this test is the cross-prefetcher conformance check for
+// the internal/flathash migration: the kernels may change the index
+// representation, never the reported statistics.
+type conformanceGoldens struct {
+	Workload string          `json:"workload"`
+	Options  Options         `json:"options"`
+	Reports  map[Kind]Report `json:"reports"`
+}
+
+func goldensPath(t testing.TB) string {
+	t.Helper()
+	return filepath.Join("testdata", "conformance_goldens.json")
+}
+
+func conformanceOptions() (string, Options) {
+	return "OLTP", QuickOptions()
+}
+
+// TestPrefetcherConformance replays the canonical workload through each
+// prefetcher and requires bit-identical miss, coverage, accuracy,
+// overprediction, stream-length and traffic statistics against the
+// checked-in goldens. Refresh with:
+//
+//	go test -run TestPrefetcherConformance -update-goldens .
+func TestPrefetcherConformance(t *testing.T) {
+	workloadName, o := conformanceOptions()
+	got := conformanceGoldens{
+		Workload: workloadName,
+		Options:  o,
+		Reports:  make(map[Kind]Report, len(Kinds())),
+	}
+	for _, k := range Kinds() {
+		rep, err := Evaluate(workloadName, k, o)
+		if err != nil {
+			t.Fatalf("Evaluate(%s, %s): %v", workloadName, k, err)
+		}
+		got.Reports[k] = rep
+	}
+
+	if *updateGoldens {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.MkdirAll(filepath.Dir(goldensPath(t)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldensPath(t), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldensPath(t))
+		return
+	}
+
+	raw, err := os.ReadFile(goldensPath(t))
+	if err != nil {
+		t.Fatalf("reading goldens (rerun with -update-goldens to capture): %v", err)
+	}
+	var want conformanceGoldens
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing goldens: %v", err)
+	}
+	if want.Workload != got.Workload {
+		t.Fatalf("golden workload %q, test evaluates %q", want.Workload, got.Workload)
+	}
+	if want.Options != got.Options {
+		t.Fatalf("golden options %+v, test evaluates %+v (refresh with -update-goldens)",
+			want.Options, got.Options)
+	}
+	for _, k := range Kinds() {
+		w, ok := want.Reports[k]
+		if !ok {
+			t.Errorf("%s: no golden report (refresh with -update-goldens)", k)
+			continue
+		}
+		if g := got.Reports[k]; g != w {
+			t.Errorf("%s: report diverged from map-implementation golden:\n got %+v\nwant %+v", k, g, w)
+		}
+	}
+	for k := range want.Reports {
+		if _, ok := got.Reports[k]; !ok {
+			t.Errorf("golden has report for unknown prefetcher %q", k)
+		}
+	}
+}

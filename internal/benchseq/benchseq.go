@@ -1,0 +1,60 @@
+// Package benchseq generates deterministic, temporally structured
+// triggering-event sequences for the per-prefetcher training benchmarks
+// (BenchmarkTrainLookup in internal/digram, internal/stms, internal/isb,
+// internal/ghb).
+//
+// The sequences have the shape temporal metadata indexes exist for:
+// a fixed population of streams — runs of consecutive-line misses — is
+// replayed whole, in pseudorandom order, so index lookups both hit
+// (recurring streams) and miss (stream boundaries), and recording
+// continually rewrites existing index entries. Generation is seeded and
+// pure, so every benchmark run trains on the identical event sequence.
+package benchseq
+
+import (
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+)
+
+// rng is splitmix64: a tiny deterministic generator, good enough to order
+// stream replays and far cheaper to seed than math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Events returns n miss events drawn from `streams` recurring streams of
+// `length` consecutive lines each. Streams are replayed whole in
+// pseudorandom order. Each stream carries a distinct PC so PC-localised
+// prefetchers (ISB) see the same recurrence structure in their own
+// address spaces.
+func Events(n, streams, length int) []prefetch.Event {
+	if streams < 1 {
+		streams = 1
+	}
+	if length < 1 {
+		length = 1
+	}
+	out := make([]prefetch.Event, 0, n)
+	r := rng(0x0d0e_1f2a_3b4c_5d6e)
+	for len(out) < n {
+		s := int(r.next() % uint64(streams))
+		// Streams are disjoint line ranges with a one-stream gap between
+		// them, so cross-stream matches cannot occur by accident.
+		base := mem.Line(uint64(s) * uint64(2*length))
+		pc := mem.Addr(0x400000 + uint64(s)*4)
+		for j := 0; j < length && len(out) < n; j++ {
+			out = append(out, prefetch.Event{
+				PC:   pc,
+				Line: base + mem.Line(j),
+				Kind: mem.EventMiss,
+			})
+		}
+	}
+	return out
+}

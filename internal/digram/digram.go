@@ -13,6 +13,7 @@ package digram
 
 import (
 	"domino/internal/dram"
+	"domino/internal/flathash"
 	"domino/internal/history"
 	"domino/internal/mem"
 	"domino/internal/prefetch"
@@ -43,20 +44,42 @@ func DefaultConfig(degree int) Config {
 	}
 }
 
-// pair is the two-address Index Table key.
-type pair struct{ prev, cur mem.Line }
+// pairKey folds the two-address Index Table key into the one-word key the
+// flathash kernel stores. The fold is flathash.PackPair's well-mixed
+// 128→64-bit hash: not injective in principle, practically collision-free
+// at trace scale (see PackPair's collision bound), and pinned
+// bit-for-bit on the real workloads by the conformance goldens.
+func pairKey(prev, cur mem.Line) uint64 {
+	return flathash.PackPair(uint64(prev), uint64(cur))
+}
 
 // Prefetcher is the Digram engine. Construct with New.
 type Prefetcher struct {
-	cfg     Config
-	ht      *history.Table
-	it      map[pair]uint64
+	cfg Config
+	ht  *history.Table
+	// it is the pair-keyed Index Table on a flathash kernel.
+	it      *flathash.Map[uint64]
 	sampler *history.Sampler
 	streams *prefetch.StreamSet
 	meter   *dram.Meter
 
+	// Stream recycling, as in stms: at most ActiveStreams+1 pooled streams,
+	// each with a long-lived refill closure over its own HT cursor, so the
+	// hot training path opens streams without allocating.
+	states []*pooledStream
+	free   []*pooledStream
+
 	prev    mem.Line
 	hasPrev bool
+}
+
+// pooledStream pairs a reusable Stream with the cursor its refill closure
+// walks: consecutive HT rows starting at seq, bounded by left.
+type pooledStream struct {
+	s      prefetch.Stream
+	refill func() []mem.Line
+	seq    uint64
+	left   int
 }
 
 // New builds a Digram prefetcher. meter may be nil.
@@ -67,7 +90,7 @@ func New(cfg Config, meter *dram.Meter) *Prefetcher {
 	return &Prefetcher{
 		cfg:     cfg,
 		ht:      history.New(cfg.HTEntries, cfg.HTRowEntries, meter),
-		it:      make(map[pair]uint64),
+		it:      flathash.New[uint64](0),
 		sampler: history.NewSampler(cfg.SampleOneIn),
 		streams: prefetch.NewStreamSet(cfg.ActiveStreams, cfg.StreamEndAfter),
 		meter:   meter,
@@ -98,35 +121,57 @@ func (p *Prefetcher) replay(ev prefetch.Event) []prefetch.Candidate {
 	}
 	// IT lookup with the (previous, current) pair: one off-chip read.
 	p.meter.RecordBlock(dram.MetadataRead)
-	ptr, ok := p.it[pair{p.prev, ev.Line}]
+	key := pairKey(p.prev, ev.Line)
+	ptr, ok := p.it.Get(key)
 	if !ok {
 		return nil
 	}
 	queue, next, ok := p.ht.RowAfter(ptr)
 	if !ok {
-		delete(p.it, pair{p.prev, ev.Line})
+		p.it.Delete(key)
 		return nil
 	}
-	s := &prefetch.Stream{Queue: queue, Refill: p.refill(next)}
-	p.streams.Insert(s)
+	s := p.openStream(queue, next)
 	return p.issue(s, p.cfg.Degree, 2)
 }
 
-func (p *Prefetcher) refill(seq uint64) func() []mem.Line {
-	left := p.cfg.MaxRefillRows
-	return func() []mem.Line {
-		if left <= 0 {
-			return nil
+// openStream takes a stream from the pool (or builds one, with its refill
+// closure, on first use), points it at queue plus the HT rows from seq, and
+// installs it as MRU; the evicted stream returns to the free list.
+func (p *Prefetcher) openStream(queue []mem.Line, seq uint64) *prefetch.Stream {
+	var ps *pooledStream
+	if n := len(p.free); n > 0 {
+		ps = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		ps = &pooledStream{}
+		ps.refill = func() []mem.Line {
+			if ps.left <= 0 {
+				return nil
+			}
+			ps.left--
+			entries, next := p.ht.NextRow(ps.seq)
+			ps.seq = next
+			return entries
 		}
-		left--
-		entries, next := p.ht.NextRow(seq)
-		seq = next
-		return entries
+		p.states = append(p.states, ps)
 	}
+	ps.seq = seq
+	ps.left = p.cfg.MaxRefillRows
+	ps.s.Reset(queue, ps.refill)
+	if evicted := p.streams.Insert(&ps.s); evicted != nil {
+		for _, st := range p.states {
+			if &st.s == evicted {
+				p.free = append(p.free, st)
+				break
+			}
+		}
+	}
+	return &ps.s
 }
 
 func (p *Prefetcher) issue(s *prefetch.Stream, n, delay int) []prefetch.Candidate {
-	var out []prefetch.Candidate
+	out := make([]prefetch.Candidate, 0, n)
 	for len(out) < n {
 		line, ok := s.Next()
 		if !ok {
@@ -145,7 +190,7 @@ func (p *Prefetcher) record(ev prefetch.Event) {
 		p.meter.RecordBlock(dram.MetadataUpdate)
 		// The pointer marks the position of the pair's second element;
 		// replay starts with the addresses that followed the pair.
-		p.it[pair{p.prev, ev.Line}] = seq
+		p.it.Put(pairKey(p.prev, ev.Line), seq)
 	}
 	p.prev = ev.Line
 	p.hasPrev = true

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"domino/internal/flathash"
 )
 
 // chaosConfig is the engine's test-only fault injector: it deterministically
@@ -35,15 +37,16 @@ const (
 // worker count and scheduling — which is what lets tests predict exactly
 // which cells fail.
 //
-// The FNV sum is passed through a 64-bit finalizer before use: FNV-1a's
-// last input byte only perturbs the sum by < 2^48 (one multiply by the
-// prime), so labels differing in their final characters — "OLTP/s0" vs
-// "OLTP/s1" — would otherwise land on nearly identical fractions and fail
-// as whole rows instead of a uniform sample.
+// The FNV sum is passed through flathash.Mix64 (the MurmurHash3 fmix64
+// finalizer) before use: FNV-1a's last input byte only perturbs the sum
+// by < 2^48 (one multiply by the prime), so labels differing in their
+// final characters — "OLTP/s0" vs "OLTP/s1" — would otherwise land on
+// nearly identical fractions and fail as whole rows instead of a uniform
+// sample.
 func (c *chaosConfig) plan(label string) chaosAction {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s", c.seed, label)
-	frac := float64(mix64(h.Sum64())>>11) / float64(uint64(1)<<53)
+	frac := float64(flathash.Mix64(h.Sum64())>>11) / float64(uint64(1)<<53)
 	switch {
 	case frac < c.panicRate:
 		return chaosPanic
@@ -52,17 +55,6 @@ func (c *chaosConfig) plan(label string) chaosAction {
 	default:
 		return chaosNone
 	}
-}
-
-// mix64 is the MurmurHash3 fmix64 finalizer: full avalanche, so every
-// input bit flips every output bit with probability ~1/2.
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
 }
 
 // wrap returns the job body with this job's planned fault injected.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"domino/internal/flathash"
 	"domino/internal/mem"
 )
 
@@ -62,17 +63,20 @@ func AnalyzeLookupDepths(lines []mem.Line, maxDepth int) []LookupDepthStats {
 	out := make([]LookupDepthStats, maxDepth)
 	for n := 1; n <= maxDepth; n++ {
 		st := LookupDepthStats{Depth: n}
-		last := make(map[uint64]int, len(lines))
+		// Positions are int32: a line pool long enough to overflow one
+		// would alone occupy 16 GiB. The flathash kernel is sized for
+		// the worst case (every position a distinct key) up front.
+		last := flathash.New[int32](len(lines))
 		for i := n - 1; i < len(lines)-1; i++ {
 			key := ngramKey(lines, i, n)
 			st.Lookups++
-			if j, ok := last[key]; ok {
+			if j, ok := last.Get(key); ok {
 				st.Matches++
 				if lines[j+1] == lines[i+1] {
 					st.Correct++
 				}
 			}
-			last[key] = i
+			last.Put(key, int32(i))
 		}
 		out[n-1] = st
 	}
@@ -94,16 +98,20 @@ func AnalyzeVaryLookup(lines []mem.Line, maxDepth int) []VaryLookupStats {
 	// last[n-1] maps depth-n keys to positions, shared across depths as
 	// the scan advances.
 	for N := 1; N <= maxDepth; N++ {
-		last := make([]map[uint64]int, N)
+		// Each depth's key population is bounded by the line-pool size
+		// (one key per scan position), so every table is preallocated to
+		// its final size — the unhinted maps this replaces re-grew
+		// through every doubling on each of the N·maxDepth scans.
+		last := make([]*flathash.Map[int32], N)
 		for i := range last {
-			last[i] = make(map[uint64]int)
+			last[i] = flathash.New[int32](len(lines))
 		}
 		var predicted, correct uint64
 		for i := 0; i < len(lines)-1; i++ {
 			// Deepest available match wins.
 			for n := min(N, i+1); n >= 1; n-- {
 				key := ngramKey(lines, i, n)
-				if j, ok := last[n-1][key]; ok {
+				if j, ok := last[n-1].Get(key); ok {
 					predicted++
 					if lines[j+1] == lines[i+1] {
 						correct++
@@ -112,7 +120,7 @@ func AnalyzeVaryLookup(lines []mem.Line, maxDepth int) []VaryLookupStats {
 				}
 			}
 			for n := 1; n <= min(N, i+1); n++ {
-				last[n-1][ngramKey(lines, i, n)] = i
+				last[n-1].Put(ngramKey(lines, i, n), int32(i))
 			}
 		}
 		total := float64(len(lines))

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"domino/internal/benchseq"
+	"domino/internal/mem"
+)
+
+// The lookup-depth analyses preallocate every per-depth table to the
+// line-pool bound (one key per scan position), so a whole analysis performs
+// a constant number of allocations — a handful of table headers —
+// independent of trace length. These benchmarks pin that: the allocs/op
+// gate in scripts/bench_baseline.json is machine-independent, so any return
+// of the grow-as-you-go behaviour (each unhinted table re-grew through
+// every doubling, on each of the N·maxDepth scans) fails the bench job even
+// on foreign hardware.
+
+func lookupBenchLines(n int) []mem.Line {
+	events := benchseq.Events(n, 64, 16)
+	lines := make([]mem.Line, len(events))
+	for i, ev := range events {
+		lines[i] = ev.Line
+	}
+	return lines
+}
+
+func BenchmarkAnalyzeLookupDepths(b *testing.B) {
+	lines := lookupBenchLines(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeLookupDepths(lines, 5)
+	}
+}
+
+func BenchmarkAnalyzeVaryLookup(b *testing.B) {
+	lines := lookupBenchLines(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AnalyzeVaryLookup(lines, 5)
+	}
+}

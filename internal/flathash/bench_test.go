@@ -1,0 +1,188 @@
+package flathash
+
+import (
+	"testing"
+)
+
+// The kernel microbenchmarks below come in Flat/Map pairs over identical
+// key sequences, sized like a sweep-scale metadata index (64 K resident
+// entries, pre-mixed 64-bit keys). scripts/bench.sh records both sides in
+// BENCH_PR5.json and enforces the Flat/Map ratio, so "flathash stopped
+// being faster than the builtin map" fails CI — independent of the
+// absolute speed of the machine running the check.
+
+const (
+	benchEntries = 1 << 16
+	benchMask    = benchEntries - 1
+)
+
+// benchKeys returns well-mixed nonzero keys, the shape the prefetcher
+// indexes store (line addresses and PackPair outputs).
+func benchKeys() []uint64 {
+	keys := make([]uint64, benchEntries)
+	for i := range keys {
+		keys[i] = Mix64(uint64(i) + 1)
+	}
+	return keys
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	keys := benchKeys()
+	b.Run("Flat", func(b *testing.B) {
+		m := New[uint64](benchEntries)
+		for i, k := range keys {
+			m.Put(k, uint64(i))
+		}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _ := m.Get(keys[i&benchMask])
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("Map", func(b *testing.B) {
+		m := make(map[uint64]uint64, benchEntries)
+		for i, k := range keys {
+			m[k] = uint64(i)
+		}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += m[keys[i&benchMask]]
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	keys := benchKeys()
+	misses := make([]uint64, benchEntries)
+	for i := range misses {
+		misses[i] = Mix64(uint64(i) + benchEntries + 1)
+	}
+	b.Run("Flat", func(b *testing.B) {
+		m := New[uint64](benchEntries)
+		for i, k := range keys {
+			m.Put(k, uint64(i))
+		}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _ := m.Get(misses[i&benchMask])
+			sink += v
+		}
+		_ = sink
+	})
+	b.Run("Map", func(b *testing.B) {
+		m := make(map[uint64]uint64, benchEntries)
+		for i, k := range keys {
+			m[k] = uint64(i)
+		}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += m[misses[i&benchMask]]
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkPutOverwrite is the sampled index-update pattern: the key
+// population is resident and stable, every Put rewrites an entry.
+func BenchmarkPutOverwrite(b *testing.B) {
+	keys := benchKeys()
+	b.Run("Flat", func(b *testing.B) {
+		m := New[uint64](benchEntries)
+		for i, k := range keys {
+			m.Put(k, uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(keys[i&benchMask], uint64(i))
+		}
+	})
+	b.Run("Map", func(b *testing.B) {
+		m := make(map[uint64]uint64, benchEntries)
+		for i, k := range keys {
+			m[k] = uint64(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m[keys[i&benchMask]] = uint64(i)
+		}
+	})
+}
+
+// BenchmarkPutDelete is the stale-pointer churn pattern (GHB pruning,
+// STMS stale-entry invalidation): inserts and backward-shift deletions at
+// a stable population.
+func BenchmarkPutDelete(b *testing.B) {
+	keys := benchKeys()
+	b.Run("Flat", func(b *testing.B) {
+		m := New[uint64](benchEntries)
+		for i, k := range keys {
+			m.Put(k, uint64(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[i&benchMask]
+			m.Delete(k)
+			m.Put(k, uint64(i))
+		}
+	})
+	b.Run("Map", func(b *testing.B) {
+		m := make(map[uint64]uint64, benchEntries)
+		for i, k := range keys {
+			m[k] = uint64(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := keys[i&benchMask]
+			delete(m, k)
+			m[k] = uint64(i)
+		}
+	})
+}
+
+// BenchmarkGrow measures cold construction: inserting a fresh 64 K-key
+// population into an unhinted table, growth included.
+func BenchmarkGrow(b *testing.B) {
+	keys := benchKeys()
+	b.Run("Flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := New[uint64](0)
+			for j, k := range keys {
+				m.Put(k, uint64(j))
+			}
+		}
+	})
+	b.Run("Map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[uint64]uint64)
+			for j, k := range keys {
+				m[k] = uint64(j)
+			}
+		}
+	})
+}
+
+// BenchmarkResetRefill pins the Reset contract: refilling after Reset
+// reuses the arrays and allocates nothing.
+func BenchmarkResetRefill(b *testing.B) {
+	keys := benchKeys()
+	m := New[uint64](benchEntries)
+	for i, k := range keys {
+		m.Put(k, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		for j, k := range keys {
+			m.Put(k, uint64(j))
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package flathash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicPutGetDelete(t *testing.T) {
+	m := New[uint64](0)
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map reports a hit")
+	}
+	if m.Delete(42) {
+		t.Fatal("empty map reports a deletion")
+	}
+	m.Put(42, 7)
+	m.Put(99, 8)
+	m.Put(42, 9) // overwrite
+	if got := m.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v, ok := m.Get(42); !ok || v != 9 {
+		t.Fatalf("Get(42) = %d,%v want 9,true", v, ok)
+	}
+	if v, ok := m.Get(99); !ok || v != 8 {
+		t.Fatalf("Get(99) = %d,%v want 8,true", v, ok)
+	}
+	if !m.Delete(42) || m.Delete(42) {
+		t.Fatal("Delete(42) should succeed exactly once")
+	}
+	if _, ok := m.Get(42); ok {
+		t.Fatal("Get after Delete reports a hit")
+	}
+	if v, ok := m.Get(99); !ok || v != 8 {
+		t.Fatalf("neighbour lost after delete: Get(99) = %d,%v", v, ok)
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	m := New[uint64](0)
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reports zero-key hit")
+	}
+	m.Put(0, 123)
+	if v, ok := m.Get(0); !ok || v != 123 {
+		t.Fatalf("Get(0) = %d,%v want 123,true", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	seen := false
+	m.Range(func(k, v uint64) bool {
+		if k == 0 && v == 123 {
+			seen = true
+		}
+		return true
+	})
+	if !seen {
+		t.Fatal("Range skipped the zero key")
+	}
+	if !m.Delete(0) || m.Delete(0) {
+		t.Fatal("Delete(0) should succeed exactly once")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestGrowthPreservesContents(t *testing.T) {
+	m := New[uint64](0)
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i*2_654_435_761, i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	if c := m.Cap(); c&(c-1) != 0 {
+		t.Fatalf("Cap %d is not a power of two", c)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i * 2_654_435_761); !ok || v != i {
+			t.Fatalf("after growth: Get(%d) = %d,%v want %d,true", i*2_654_435_761, v, ok, i)
+		}
+	}
+}
+
+func TestNewHintAvoidsGrowth(t *testing.T) {
+	for _, hint := range []int{1, 7, 100, 4096} {
+		m := New[int32](hint)
+		c := m.Cap()
+		for i := 0; i < hint; i++ {
+			m.Put(uint64(i)+1, int32(i))
+		}
+		if m.Cap() != c {
+			t.Fatalf("hint %d: table grew from %d to %d while inserting hint entries",
+				hint, c, m.Cap())
+		}
+	}
+}
+
+// TestBackwardShiftWraparound builds a probe chain that wraps around the
+// end of the slot array and deletes its first element, so the backward
+// shift has to move entries across the wrap boundary. Keys homing to the
+// final slots are found by brute force against the known capacity.
+func TestBackwardShiftWraparound(t *testing.T) {
+	m := New[uint64](4) // capacity 8 (threshold(8) = 4)
+	c := uint64(m.Cap())
+	home := func(k uint64) uint64 { return Mix64(k) & (c - 1) }
+	// Four keys all homing to the last slot: they occupy slots c-1, 0, 1,
+	// 2 — a chain crossing the wrap.
+	var keys []uint64
+	for k := uint64(1); len(keys) < 4; k++ {
+		if home(k) == c-1 {
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys {
+		m.Put(k, uint64(i))
+	}
+	if m.Cap() != int(c) {
+		t.Fatalf("table grew to %d during setup; pick a smaller chain", m.Cap())
+	}
+	if !m.Delete(keys[0]) {
+		t.Fatal("chain head not found")
+	}
+	for i, k := range keys[1:] {
+		if v, ok := m.Get(k); !ok || v != uint64(i+1) {
+			t.Fatalf("after wrap-shift delete: Get(keys[%d]) = %d,%v want %d,true",
+				i+1, v, ok, i+1)
+		}
+	}
+	// Delete the rest in reverse; every survivor must stay reachable.
+	for i := len(keys) - 1; i >= 1; i-- {
+		if !m.Delete(keys[i]) {
+			t.Fatalf("keys[%d] unreachable after earlier deletions", i)
+		}
+		for j := 1; j < i; j++ {
+			if _, ok := m.Get(keys[j]); !ok {
+				t.Fatalf("keys[%d] lost after deleting keys[%d]", j, i)
+			}
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	m := New[uint64](0)
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	m.DeleteWhere(func(k, v uint64) bool { return v%3 == 0 })
+	want := 0
+	for i := uint64(0); i < n; i++ {
+		v, ok := m.Get(i)
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("key %d survived DeleteWhere", i)
+			}
+			continue
+		}
+		want++
+		if !ok || v != i {
+			t.Fatalf("key %d: got %d,%v want %d,true", i, v, ok, i)
+		}
+	}
+	if m.Len() != want {
+		t.Fatalf("Len = %d, want %d", m.Len(), want)
+	}
+}
+
+// TestResetReusesArrays pins the kernel's no-allocation steady state: a
+// Reset-and-refill cycle at constant population must not allocate.
+func TestResetReusesArrays(t *testing.T) {
+	m := New[uint64](1024)
+	c := m.Cap()
+	refill := func() {
+		m.Reset()
+		for i := uint64(1); i <= 1024; i++ {
+			m.Put(i, i)
+		}
+	}
+	refill()
+	if avg := testing.AllocsPerRun(10, refill); avg != 0 {
+		t.Fatalf("Reset+refill allocates %v times per cycle, want 0", avg)
+	}
+	if m.Cap() != c {
+		t.Fatalf("Cap changed across Reset: %d -> %d", c, m.Cap())
+	}
+	if m.Len() != 1024 {
+		t.Fatalf("Len = %d, want 1024", m.Len())
+	}
+}
+
+func TestZeroValueMapIsUsable(t *testing.T) {
+	var m Map[int32]
+	if _, ok := m.Get(5); ok {
+		t.Fatal("zero-value map reports a hit")
+	}
+	m.Put(5, -7)
+	if v, ok := m.Get(5); !ok || v != -7 {
+		t.Fatalf("Get(5) = %d,%v want -7,true", v, ok)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", m.Len())
+	}
+}
+
+func TestPackPairOrderMatters(t *testing.T) {
+	if PackPair(1, 2) == PackPair(2, 1) {
+		t.Fatal("PackPair is symmetric; pair tables need ordered keys")
+	}
+	if PackPair(0, 0) == PackPair(0, 1) || PackPair(0, 0) == PackPair(1, 0) {
+		t.Fatal("PackPair collides on trivial inputs")
+	}
+}
+
+// TestRandomizedAgainstMap is the in-suite (non-fuzz) differential check:
+// a seeded random op mix against map[uint64]uint64, verified op by op.
+// The fuzz target FuzzFlatHashVsMap explores the same space with
+// coverage guidance.
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New[uint64](0)
+	ref := map[uint64]uint64{}
+	for op := 0; op < 200_000; op++ {
+		k := uint64(rng.Intn(512)) // small key space forces collisions and chains
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			v := rng.Uint64()
+			m.Put(k, v)
+			ref[k] = v
+		case 4, 5, 6:
+			gv, gok := m.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, gv, gok, wv, wok)
+			}
+		case 7, 8:
+			_, wok := ref[k]
+			if got := m.Delete(k); got != wok {
+				t.Fatalf("op %d: Delete(%d) = %v want %v", op, k, got, wok)
+			}
+			delete(ref, k)
+		case 9:
+			if rng.Intn(1000) == 0 {
+				m.Reset()
+				ref = map[uint64]uint64{}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	checkEqualContents(t, m, ref)
+}
+
+func checkEqualContents(t *testing.T, m *Map[uint64], ref map[uint64]uint64) {
+	t.Helper()
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	seen := 0
+	m.Range(func(k, v uint64) bool {
+		seen++
+		if wv, ok := ref[k]; !ok || wv != v {
+			t.Fatalf("Range yields %d=%d; reference has %d,%v", k, v, wv, ok)
+		}
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", seen, len(ref))
+	}
+}

@@ -1,0 +1,147 @@
+package flathash
+
+import (
+	"testing"
+)
+
+// FuzzFlatHashVsMap drives identical Put/Get/Delete/DeleteWhere/Reset
+// sequences against a Map and a plain Go map and requires equal contents
+// after every operation. Both value shapes (uint64 and int32) execute the
+// same op stream. The byte input is an opcode stream:
+//
+//	opcode%16 ∈ {0,1,2}  Put(key, val)      key and val from next bytes
+//	          ∈ {3,4}    Get(key)           compared against the reference
+//	          = 5        Delete(key)        result compared
+//	          = 6        DeleteWhere        drop keys by parity of next byte
+//	          = 7        Reset
+//	          = 8        bulk Put of 64 sequential keys (crosses grow
+//	                     boundaries in one op)
+//	          ≥ 9        Get(key) on a wide (well-mixed) key
+//
+// Keys are drawn from a small space (1..80, plus key 0 for the
+// out-of-line slot) so probe chains collide, wrap around the array end,
+// and exercise the backward shift constantly.
+func FuzzFlatHashVsMap(f *testing.F) {
+	// Grow-boundary seed: bulk inserts crossing several doublings, then
+	// interleaved deletes.
+	f.Add([]byte{8, 0, 8, 1, 8, 2, 8, 3, 5, 10, 5, 11, 8, 4, 7, 8, 0})
+	// Backward-shift/wraparound seed: a dense put/delete churn in a tiny
+	// key space, which packs chains against the wrap boundary.
+	f.Add([]byte{
+		0, 1, 1, 0, 2, 2, 0, 3, 3, 0, 4, 4, 0, 5, 5, 0, 6, 6,
+		5, 1, 5, 3, 0, 7, 7, 5, 2, 5, 5, 3, 4, 5, 6, 0, 1, 9,
+	})
+	// Zero-key seed.
+	f.Add([]byte{0, 250, 1, 3, 250, 5, 250, 0, 251, 2, 6, 1, 7})
+	// DeleteWhere-heavy seed.
+	f.Add([]byte{8, 0, 6, 0, 6, 1, 8, 1, 6, 2, 5, 64, 8, 2, 6, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOps = 128
+		m64 := New[uint64](0)
+		m32 := New[int32](0)
+		ref64 := map[uint64]uint64{}
+		ref32 := map[uint64]int32{}
+
+		p := 0
+		next := func() byte {
+			if p >= len(data) {
+				return 0
+			}
+			b := data[p]
+			p++
+			return b
+		}
+		key := func() uint64 {
+			kb := next()
+			if kb >= 250 {
+				return 0 // the out-of-line zero key
+			}
+			return uint64(kb%80) + 1
+		}
+
+		put := func(k, v uint64) {
+			m64.Put(k, v)
+			ref64[k] = v
+			m32.Put(k, int32(v))
+			ref32[k] = int32(v)
+		}
+
+		for op := 0; op < maxOps && p < len(data); op++ {
+			switch opcode := next(); opcode % 16 {
+			case 0, 1, 2:
+				put(key(), uint64(next()))
+			case 3, 4:
+				k := key()
+				gv, gok := m64.Get(k)
+				wv, wok := ref64[k]
+				if gok != wok || gv != wv {
+					t.Fatalf("Get(%d) = %d,%v want %d,%v", k, gv, gok, wv, wok)
+				}
+				g32, gok32 := m32.Get(k)
+				w32, wok32 := ref32[k]
+				if gok32 != wok32 || g32 != w32 {
+					t.Fatalf("int32 Get(%d) = %d,%v want %d,%v", k, g32, gok32, w32, wok32)
+				}
+			case 5:
+				k := key()
+				_, wok := ref64[k]
+				if got := m64.Delete(k); got != wok {
+					t.Fatalf("Delete(%d) = %v want %v", k, got, wok)
+				}
+				delete(ref64, k)
+				m32.Delete(k)
+				delete(ref32, k)
+			case 6:
+				parity := uint64(next()) & 1
+				m64.DeleteWhere(func(k, v uint64) bool { return k&1 == parity })
+				m32.DeleteWhere(func(k uint64, v int32) bool { return k&1 == parity })
+				for k := range ref64 {
+					if k&1 == parity {
+						delete(ref64, k)
+						delete(ref32, k)
+					}
+				}
+			case 7:
+				m64.Reset()
+				m32.Reset()
+				ref64 = map[uint64]uint64{}
+				ref32 = map[uint64]int32{}
+			case 8:
+				base := uint64(next()) * 64
+				for i := uint64(0); i < 64; i++ {
+					put(base+i, base+i+1)
+				}
+			default:
+				k := Mix64(uint64(next()) + 1)
+				gv, gok := m64.Get(k)
+				wv, wok := ref64[k]
+				if gok != wok || gv != wv {
+					t.Fatalf("wide Get(%d) = %d,%v want %d,%v", k, gv, gok, wv, wok)
+				}
+			}
+
+			// Equal contents after every op, both shapes.
+			if m64.Len() != len(ref64) || m32.Len() != len(ref32) {
+				t.Fatalf("Len = %d/%d, want %d/%d", m64.Len(), m32.Len(), len(ref64), len(ref32))
+			}
+			seen := 0
+			m64.Range(func(k, v uint64) bool {
+				seen++
+				if wv, ok := ref64[k]; !ok || wv != v {
+					t.Fatalf("Range yields %d=%d; reference has %d,%v", k, v, wv, ok)
+				}
+				return true
+			})
+			if seen != len(ref64) {
+				t.Fatalf("Range visited %d entries, want %d", seen, len(ref64))
+			}
+			m32.Range(func(k uint64, v int32) bool {
+				if wv, ok := ref32[k]; !ok || wv != v {
+					t.Fatalf("int32 Range yields %d=%d; reference has %d,%v", k, v, wv, ok)
+				}
+				return true
+			})
+		}
+	})
+}

@@ -1,0 +1,23 @@
+package ghb
+
+import (
+	"testing"
+
+	"domino/internal/benchseq"
+)
+
+// BenchmarkTrainLookup drives the G/AC path with a recurring-stream miss
+// sequence sized to keep the 512-entry history buffer wrapping: every
+// event costs one index lookup plus an index rewrite linking the new
+// occurrence. scripts/bench.sh tracks its ns/op against the checked-in
+// baseline.
+func BenchmarkTrainLookup(b *testing.B) {
+	const mask = 1<<16 - 1
+	events := benchseq.Events(mask+1, 64, 16)
+	p := New(DefaultConfig(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Trigger(events[i&mask])
+	}
+}

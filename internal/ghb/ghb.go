@@ -13,6 +13,7 @@
 package ghb
 
 import (
+	"domino/internal/flathash"
 	"domino/internal/mem"
 	"domino/internal/prefetch"
 )
@@ -42,10 +43,13 @@ type ghbEntry struct {
 
 // Prefetcher is the G/AC engine. Construct with New.
 type Prefetcher struct {
-	cfg   Config
-	buf   []ghbEntry
-	next  uint64 // absolute sequence number of the next slot
-	index map[mem.Line]uint64
+	cfg  Config
+	buf  []ghbEntry
+	next uint64 // absolute sequence number of the next slot
+	// index maps a line to its most recent sequence number, on a
+	// flathash kernel; stale entries are pruned with a backward-shift
+	// DeleteWhere sweep.
+	index *flathash.Map[uint64]
 }
 
 // New builds a GHB prefetcher.
@@ -56,7 +60,7 @@ func New(cfg Config) *Prefetcher {
 	return &Prefetcher{
 		cfg:   cfg,
 		buf:   make([]ghbEntry, cfg.Entries),
-		index: make(map[mem.Line]uint64),
+		index: flathash.New[uint64](cfg.Entries),
 	}
 }
 
@@ -71,7 +75,7 @@ func (p *Prefetcher) retained(seq uint64) bool {
 func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
 	// Replay: successors of the previous occurrence, bounded by degree.
 	var out []prefetch.Candidate
-	if seq, ok := p.index[ev.Line]; ok && p.retained(seq) {
+	if seq, ok := p.index.Get(uint64(ev.Line)); ok && p.retained(seq) {
 		for s := seq + 1; s < p.next && len(out) < p.cfg.Degree; s++ {
 			if !p.retained(s) {
 				break
@@ -85,20 +89,18 @@ func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
 
 	// Record: append and link.
 	e := ghbEntry{line: ev.Line}
-	if old, ok := p.index[ev.Line]; ok && p.retained(old) {
+	if old, ok := p.index.Get(uint64(ev.Line)); ok && p.retained(old) {
 		e.prev = old + 1
 	}
 	p.buf[p.next%uint64(p.cfg.Entries)] = e
-	p.index[ev.Line] = p.next
+	p.index.Put(uint64(ev.Line), p.next)
 	p.next++
-	// Prune stale index entries opportunistically so the map tracks the
+	// Prune stale index entries opportunistically so the index tracks the
 	// buffer rather than the whole trace.
-	if p.cfg.IndexEntries > 0 && len(p.index) > p.cfg.IndexEntries {
-		for line, seq := range p.index {
-			if !p.retained(seq) {
-				delete(p.index, line)
-			}
-		}
+	if p.cfg.IndexEntries > 0 && p.index.Len() > p.cfg.IndexEntries {
+		p.index.DeleteWhere(func(_, seq uint64) bool {
+			return !p.retained(seq)
+		})
 	}
 	return out
 }

@@ -69,8 +69,8 @@ func TestIndexPruning(t *testing.T) {
 	for i := mem.Line(0); i < 100; i++ {
 		p.Trigger(miss(i))
 	}
-	if len(p.index) > 100 {
-		t.Fatalf("index grew unboundedly: %d entries", len(p.index))
+	if p.index.Len() > 100 {
+		t.Fatalf("index grew unboundedly: %d entries", p.index.Len())
 	}
 }
 

@@ -24,13 +24,25 @@ const Unlimited = 0
 // retained while it is within the last Capacity appends. Construct with
 // New.
 type Table struct {
-	entries   []mem.Line
-	cap       uint64 // 0 = unlimited
-	next      uint64 // sequence number of the next append
+	entries   []mem.Line   // finite mode: circular buffer of cap entries
+	chunks    [][]mem.Line // unlimited mode: append-only chunked log
+	cap       uint64       // 0 = unlimited
+	next      uint64       // sequence number of the next append
 	rowLen    uint64
 	meter     *dram.Meter
 	unlimited bool
 }
+
+// Unlimited-mode storage is chunked rather than one grown slice: the
+// paper's unlimited-metadata configurations append tens of millions of
+// entries per run, and slice doubling would copy the entire history on
+// every growth step — the single largest allocation cost in the training
+// profiles. A chunk holds 64 K entries (512 KiB).
+const (
+	chunkBits = 16
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
 
 // New returns a table retaining the last capacity entries (or every entry,
 // for Unlimited), grouped into rows of rowEntries addresses. meter may be
@@ -71,7 +83,11 @@ func (t *Table) Len() uint64 { return t.next }
 func (t *Table) Append(line mem.Line) uint64 {
 	seq := t.next
 	if t.unlimited {
-		t.entries = append(t.entries, line)
+		ci := int(seq >> chunkBits)
+		if ci == len(t.chunks) {
+			t.chunks = append(t.chunks, make([]mem.Line, chunkSize))
+		}
+		t.chunks[ci][seq&chunkMask] = line
 	} else {
 		t.entries[seq%t.cap] = line
 	}
@@ -98,8 +114,13 @@ func (t *Table) At(seq uint64) mem.Line {
 	if !t.Retained(seq) {
 		panic("history: read of non-retained sequence number")
 	}
+	return t.at(seq)
+}
+
+// at reads a retained entry without the retention check.
+func (t *Table) at(seq uint64) mem.Line {
 	if t.unlimited {
-		return t.entries[seq]
+		return t.chunks[seq>>chunkBits][seq&chunkMask]
 	}
 	return t.entries[seq%t.cap]
 }
@@ -155,11 +176,7 @@ func (t *Table) copyRange(from, to uint64) []mem.Line {
 		if !t.Retained(s) {
 			continue
 		}
-		if t.unlimited {
-			out = append(out, t.entries[s])
-		} else {
-			out = append(out, t.entries[s%t.cap])
-		}
+		out = append(out, t.at(s))
 	}
 	return out
 }

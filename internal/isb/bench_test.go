@@ -1,0 +1,22 @@
+package isb
+
+import (
+	"testing"
+
+	"domino/internal/benchseq"
+)
+
+// BenchmarkTrainLookup drives the idealised PC/AC path with a
+// recurring-stream miss sequence: every event costs one structural-map
+// lookup keyed by the (PC, line) pair plus the per-PC history append.
+// scripts/bench.sh tracks its ns/op against the checked-in baseline.
+func BenchmarkTrainLookup(b *testing.B) {
+	const mask = 1<<16 - 1
+	events := benchseq.Events(mask+1, 256, 32)
+	p := New(DefaultConfig(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Trigger(events[i&mask])
+	}
+}

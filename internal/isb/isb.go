@@ -14,6 +14,7 @@
 package isb
 
 import (
+	"domino/internal/flathash"
 	"domino/internal/mem"
 	"domino/internal/prefetch"
 )
@@ -27,28 +28,32 @@ type Config struct {
 // DefaultConfig returns ISB at the given degree.
 func DefaultConfig(degree int) Config { return Config{Degree: degree} }
 
-type pcLine struct {
-	pc   mem.Addr
-	line mem.Line
-}
-
 // Prefetcher is the idealised PC/AC engine. Construct with New.
+//
+// Both metadata maps run on flathash kernels: pcs resolves a PC to its
+// structural address space (a slot in hists), and last resolves a
+// flathash.PackPair-folded (PC, line) key to the index of line's most
+// recent occurrence in that PC's sequence. History indexes are int32 —
+// a per-PC log of 2³¹ lines would need 16 GiB for the log alone, far
+// beyond any trace this simulator runs.
 type Prefetcher struct {
 	cfg Config
-	// hist is the per-PC miss sequence ("structural address space" in
-	// ISB's terms, idealised to an append-only log).
-	hist map[mem.Addr][]mem.Line
-	// last maps (pc, line) to the index of line's most recent occurrence
-	// in hist[pc].
-	last map[pcLine]int
+	// pcs maps a PC to its slot in hists.
+	pcs *flathash.Map[int32]
+	// hists holds the per-PC miss sequences ("structural address space"
+	// in ISB's terms, idealised to append-only logs).
+	hists [][]mem.Line
+	// last maps the folded (pc, line) pair to the index of line's most
+	// recent occurrence in that PC's sequence.
+	last *flathash.Map[int32]
 }
 
 // New builds an ISB prefetcher.
 func New(cfg Config) *Prefetcher {
 	return &Prefetcher{
 		cfg:  cfg,
-		hist: make(map[mem.Addr][]mem.Line),
-		last: make(map[pcLine]int),
+		pcs:  flathash.New[int32](0),
+		last: flathash.New[int32](0),
 	}
 }
 
@@ -57,15 +62,22 @@ func (p *Prefetcher) Name() string { return "isb" }
 
 // Trigger implements prefetch.Prefetcher.
 func (p *Prefetcher) Trigger(ev prefetch.Event) []prefetch.Candidate {
-	h := p.hist[ev.PC]
+	slot, ok := p.pcs.Get(uint64(ev.PC))
+	if !ok {
+		slot = int32(len(p.hists))
+		p.hists = append(p.hists, nil)
+		p.pcs.Put(uint64(ev.PC), slot)
+	}
+	h := p.hists[slot]
+	key := flathash.PackPair(uint64(ev.PC), uint64(ev.Line))
 	var out []prefetch.Candidate
-	if idx, ok := p.last[pcLine{ev.PC, ev.Line}]; ok {
-		for i := idx + 1; i < len(h) && len(out) < p.cfg.Degree; i++ {
+	if idx, ok := p.last.Get(key); ok {
+		for i := int(idx) + 1; i < len(h) && len(out) < p.cfg.Degree; i++ {
 			// Idealised on-chip metadata: no issue delay.
 			out = append(out, prefetch.Candidate{Line: h[i], Tag: p.Name()})
 		}
 	}
-	p.last[pcLine{ev.PC, ev.Line}] = len(h)
-	p.hist[ev.PC] = append(h, ev.Line)
+	p.last.Put(key, int32(len(h)))
+	p.hists[slot] = append(h, ev.Line)
 	return out
 }

@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"domino/internal/flathash"
 	"domino/internal/mem"
 )
 
@@ -24,6 +25,7 @@ type Stream struct {
 	sinceHit int
 	ended    bool
 	inflight []mem.Line // lines issued for this stream, for O(1) disowning
+	id       uint64     // StreamSet slot id; recycled when the stream is disowned
 }
 
 // Next pops the next line to prefetch, refilling from history as needed.
@@ -48,6 +50,18 @@ func (s *Stream) Next() (mem.Line, bool) {
 // Ended reports whether stream-end detection retired the stream.
 func (s *Stream) Ended() bool { return s.ended }
 
+// Reset reuses the stream for a fresh replay: new queue and refill, age and
+// end state cleared. The in-flight tracking slice keeps its backing array,
+// so a prefetcher that recycles evicted streams stops paying the
+// append-from-nil growth on every stream it opens.
+func (s *Stream) Reset(queue []mem.Line, refill func() []mem.Line) {
+	s.Queue = queue
+	s.Refill = refill
+	s.sinceHit = 0
+	s.ended = false
+	s.inflight = s.inflight[:0]
+}
+
 // StreamSet tracks the active streams of a temporal prefetcher: at most max
 // streams in MRU order, ownership of in-flight prefetched lines, and the
 // stream-end detection heuristic — a stream that sees endAfter consecutive
@@ -57,7 +71,14 @@ type StreamSet struct {
 	max      int
 	endAfter int
 	streams  []*Stream // index 0 is most recently used
-	owner    map[mem.Line]*Stream
+	// owner maps an in-flight line to the id of the stream it was issued
+	// for, on a flathash kernel — it is written once per issued prefetch,
+	// the hottest write in the training loop after the index tables. Ids
+	// index byID and are recycled through free as streams are replaced,
+	// so byID stays at most max+1 long.
+	owner *flathash.Map[uint64]
+	byID  []*Stream
+	free  []uint64
 }
 
 // NewStreamSet returns a set of up to max streams with the given
@@ -72,7 +93,7 @@ func NewStreamSet(max, endAfter int) *StreamSet {
 	return &StreamSet{
 		max:      max,
 		endAfter: endAfter,
-		owner:    make(map[mem.Line]*Stream),
+		owner:    flathash.New[uint64](4 * max),
 	}
 }
 
@@ -97,23 +118,37 @@ func (ss *StreamSet) Insert(s *Stream) (evicted *Stream) {
 		ss.streams = append(ss.streams[:victim], ss.streams[victim+1:]...)
 		ss.disown(evicted)
 	}
-	ss.streams = append([]*Stream{s}, ss.streams...)
+	if n := len(ss.free); n > 0 {
+		s.id = ss.free[n-1]
+		ss.free = ss.free[:n-1]
+		ss.byID[s.id] = s
+	} else {
+		s.id = uint64(len(ss.byID))
+		ss.byID = append(ss.byID, s)
+	}
+	// Prepend in place: after warmup the slice has spare capacity, so
+	// making a stream MRU allocates nothing.
+	ss.streams = append(ss.streams, nil)
+	copy(ss.streams[1:], ss.streams)
+	ss.streams[0] = s
 	return evicted
 }
 
 func (ss *StreamSet) disown(s *Stream) {
 	for _, line := range s.inflight {
-		if ss.owner[line] == s {
-			delete(ss.owner, line)
+		if id, ok := ss.owner.Get(uint64(line)); ok && id == s.id {
+			ss.owner.Delete(uint64(line))
 		}
 	}
-	s.inflight = nil
+	s.inflight = s.inflight[:0]
+	ss.byID[s.id] = nil
+	ss.free = append(ss.free, s.id)
 }
 
 // Issued records that line was prefetched on behalf of s. If another
 // stream had an in-flight claim on the same line, the newer stream wins.
 func (ss *StreamSet) Issued(s *Stream, line mem.Line) {
-	ss.owner[line] = s
+	ss.owner.Put(uint64(line), s.id)
 	s.inflight = append(s.inflight, line)
 }
 
@@ -121,11 +156,15 @@ func (ss *StreamSet) Issued(s *Stream, line mem.Line) {
 // promoted to MRU and its end-detection age resets. It returns nil when no
 // active stream owns the line (e.g. its stream was replaced).
 func (ss *StreamSet) OnPrefetchHit(line mem.Line) *Stream {
-	s, ok := ss.owner[line]
+	id, ok := ss.owner.Get(uint64(line))
 	if !ok {
 		return nil
 	}
-	delete(ss.owner, line)
+	// Owner entries always reference live streams: a replaced stream's
+	// entries are removed (or overwritten) by disown before its id is
+	// recycled.
+	s := ss.byID[id]
+	ss.owner.Delete(uint64(line))
 	s.sinceHit = 0
 	s.ended = false
 	ss.promote(s)

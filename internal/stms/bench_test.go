@@ -1,0 +1,23 @@
+package stms
+
+import (
+	"testing"
+
+	"domino/internal/benchseq"
+)
+
+// BenchmarkTrainLookup drives the full training + replay path with a
+// recurring-stream miss sequence: every miss costs one Index Table
+// lookup, and sampled misses rewrite the address's index entry. This is
+// the metadata hot path of every figure-regeneration sweep;
+// scripts/bench.sh tracks its ns/op against the checked-in baseline.
+func BenchmarkTrainLookup(b *testing.B) {
+	const mask = 1<<16 - 1
+	events := benchseq.Events(mask+1, 256, 32)
+	p := New(DefaultConfig(4), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Trigger(events[i&mask])
+	}
+}

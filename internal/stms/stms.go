@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"domino/internal/dram"
+	"domino/internal/flathash"
 	"domino/internal/history"
 	"domino/internal/mem"
 	"domino/internal/prefetch"
@@ -61,14 +62,32 @@ func DefaultConfig(degree int) Config {
 
 // Prefetcher is the STMS engine. Construct with New.
 type Prefetcher struct {
-	cfg     Config
-	ht      *history.Table
-	it      map[mem.Line]uint64
+	cfg Config
+	ht  *history.Table
+	// it is the Index Table: most recent HT position per miss address,
+	// on a flathash kernel (the simulator's hottest lookup structure).
+	it      *flathash.Map[uint64]
 	sampler *history.Sampler
 	streams *prefetch.StreamSet
 	meter   *dram.Meter
 
+	// Stream recycling: every stream ever opened lives in states (at most
+	// ActiveStreams+1 of them), each with a long-lived refill closure over
+	// its own cursor. Opening a stream on the hot training path then
+	// allocates nothing — no Stream, no closure, no in-flight slice regrow.
+	states []*pooledStream
+	free   []*pooledStream
+
 	nMiss, nMatch, nStale, nStream, nAdvance uint64
+}
+
+// pooledStream pairs a reusable Stream with the cursor its refill closure
+// walks: consecutive HT rows starting at seq, bounded by left.
+type pooledStream struct {
+	s      prefetch.Stream
+	refill func() []mem.Line
+	seq    uint64
+	left   int
 }
 
 // DebugStats reports internal counters for calibration and tests.
@@ -86,7 +105,7 @@ func New(cfg Config, meter *dram.Meter) *Prefetcher {
 	return &Prefetcher{
 		cfg:     cfg,
 		ht:      history.New(cfg.HTEntries, cfg.HTRowEntries, meter),
-		it:      make(map[mem.Line]uint64),
+		it:      flathash.New[uint64](0),
 		sampler: history.NewSampler(cfg.SampleOneIn),
 		streams: prefetch.NewStreamSet(cfg.ActiveStreams, cfg.StreamEndAfter),
 		meter:   meter,
@@ -118,7 +137,7 @@ func (p *Prefetcher) replay(ev prefetch.Event) []prefetch.Candidate {
 	p.streams.OnMiss()
 	// IT lookup: one off-chip block read whether or not it matches.
 	p.meter.RecordBlock(dram.MetadataRead)
-	ptr, ok := p.it[ev.Line]
+	ptr, ok := p.it.Get(uint64(ev.Line))
 	if !ok {
 		return nil
 	}
@@ -126,36 +145,56 @@ func (p *Prefetcher) replay(ev prefetch.Event) []prefetch.Candidate {
 	queue, next, ok := p.ht.RowAfter(ptr) // second off-chip round trip
 	if !ok {
 		p.nStale++
-		delete(p.it, ev.Line) // stale pointer: the HT wrapped past it
+		p.it.Delete(uint64(ev.Line)) // stale pointer: the HT wrapped past it
 		return nil
 	}
 	p.nStream++
-	s := &prefetch.Stream{Queue: queue, Refill: p.refill(next)}
-	p.streams.Insert(s)
+	s := p.openStream(queue, next)
 	// The first prefetches of an STMS stream wait for two serial off-chip
 	// accesses: the IT read and the HT read (Figure 6).
 	return p.issue(s, p.cfg.Degree, 2)
 }
 
-// refill returns a Stream refill closure that walks consecutive HT rows
-// starting at seq, bounded by MaxRefillRows.
-func (p *Prefetcher) refill(seq uint64) func() []mem.Line {
-	left := p.cfg.MaxRefillRows
-	return func() []mem.Line {
-		if left <= 0 {
-			return nil
+// openStream takes a stream from the pool (or builds one, with its refill
+// closure, on first use), points it at queue plus the HT rows from seq, and
+// installs it as MRU. The stream the set evicts to make room goes back on
+// the free list — at most ActiveStreams+1 pooled streams ever exist.
+func (p *Prefetcher) openStream(queue []mem.Line, seq uint64) *prefetch.Stream {
+	var ps *pooledStream
+	if n := len(p.free); n > 0 {
+		ps = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		ps = &pooledStream{}
+		ps.refill = func() []mem.Line {
+			if ps.left <= 0 {
+				return nil
+			}
+			ps.left--
+			entries, next := p.ht.NextRow(ps.seq)
+			ps.seq = next
+			return entries
 		}
-		left--
-		entries, next := p.ht.NextRow(seq)
-		seq = next
-		return entries
+		p.states = append(p.states, ps)
 	}
+	ps.seq = seq
+	ps.left = p.cfg.MaxRefillRows
+	ps.s.Reset(queue, ps.refill)
+	if evicted := p.streams.Insert(&ps.s); evicted != nil {
+		for _, st := range p.states {
+			if &st.s == evicted {
+				p.free = append(p.free, st)
+				break
+			}
+		}
+	}
+	return &ps.s
 }
 
 // issue pops up to n lines from s into candidates carrying delay off-chip
 // round trips of issue latency.
 func (p *Prefetcher) issue(s *prefetch.Stream, n, delay int) []prefetch.Candidate {
-	var out []prefetch.Candidate
+	out := make([]prefetch.Candidate, 0, n)
 	for len(out) < n {
 		line, ok := s.Next()
 		if !ok {
@@ -173,6 +212,6 @@ func (p *Prefetcher) record(ev prefetch.Event) {
 		// Read-modify-write of the IT row holding this address.
 		p.meter.RecordBlock(dram.MetadataRead)
 		p.meter.RecordBlock(dram.MetadataUpdate)
-		p.it[ev.Line] = seq
+		p.it.Put(uint64(ev.Line), seq)
 	}
 }
