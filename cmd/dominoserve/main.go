@@ -1,0 +1,281 @@
+// Command dominoserve runs the streaming prefetch service under load: a
+// sharded, multi-tenant serve.Server fed by concurrent client goroutines
+// replaying synthetic workload streams through the per-access Session API.
+// It is both the operational smoke test for the serving layer and the
+// load driver behind the service throughput numbers.
+//
+// Run a bounded measurement:
+//
+//	dominoserve -accesses 1000000 -clients 8 -shards 4
+//
+// Or run until SIGINT/SIGTERM; the server drains in-flight batches and
+// the summary still prints:
+//
+//	dominoserve -accesses 0 &
+//	kill -TERM $!
+//
+// The summary on stdout reports total accesses, prefetch-buffer hit rate,
+// throughput in accesses/sec, and p50/p99 batch latency. -metrics dumps
+// the telemetry registry (per-shard throughput counters, queue-depth
+// gauges, batch latency timers) as JSON at exit; -report prints a running
+// throughput line to stderr at the given interval.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"domino/internal/mem"
+	"domino/internal/serve"
+	"domino/internal/telemetry"
+	"domino/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// latRing keeps the most recent batch latencies per client, bounded so an
+// until-signal run cannot grow without limit. p50/p99 are computed over
+// the union of the rings at exit — the tail of recent behaviour, which is
+// what a long-running service's latency report should reflect.
+type latRing struct {
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatRing(n int) *latRing { return &latRing{buf: make([]time.Duration, n)} }
+
+func (r *latRing) add(d time.Duration) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *latRing) samples() []time.Duration {
+	if r.full {
+		return r.buf
+	}
+	return r.buf[:r.next]
+}
+
+// run is main, testably: flags from args, summary to stdout, telemetry
+// and errors to stderr, exit code returned (0 ok — including a clean
+// signal-initiated drain, 1 runtime error, 2 usage error).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dominoserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		prefetcher   = fs.String("prefetcher", "domino", "prefetcher kind: domino, stms or digram")
+		shards       = fs.Int("shards", 4, "metadata shards (single-writer goroutines)")
+		clients      = fs.Int("clients", 4, "concurrent client goroutines (one tenant each)")
+		queue        = fs.Int("queue", 64, "bounded queue depth per shard")
+		batch        = fs.Int("batch", 256, "accesses per submitted batch")
+		degree       = fs.Int("degree", 4, "prefetch degree")
+		scale        = fs.Int("scale", 64, "metadata scale divisor (16M/scale HT entries per tenant)")
+		accesses     = fs.Int64("accesses", 1_000_000, "total accesses across all clients; 0 runs until SIGINT/SIGTERM")
+		tenantsCap   = fs.Int("tenants-per-shard", 64, "resident tenant sessions per shard before LRU eviction")
+		wlName       = fs.String("workload", "OLTP", "synthetic workload driving the clients")
+		metricsPath  = fs.String("metrics", "", "write telemetry registry JSON to this file at exit")
+		report       = fs.Duration("report", 0, "print a running throughput line to stderr at this interval (0 = off)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight batches on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "dominoserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	switch {
+	case *clients < 1:
+		fmt.Fprintf(stderr, "dominoserve: invalid -clients %d: need at least one client\n", *clients)
+		return 2
+	case *batch < 1:
+		fmt.Fprintf(stderr, "dominoserve: invalid -batch %d: need at least one access per batch\n", *batch)
+		return 2
+	case *accesses < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -accesses %d: must be >= 0 (0 = until signal)\n", *accesses)
+		return 2
+	}
+	known := false
+	for _, n := range workload.Names {
+		if n == *wlName {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(stderr, "dominoserve: unknown workload %q (see dominosim -list)\n", *wlName)
+		return 2
+	}
+	params := workload.ByName(*wlName)
+
+	reg := telemetry.New()
+	srv, err := serve.New(serve.Config{
+		Shards:             *shards,
+		QueueDepth:         *queue,
+		MaxTenantsPerShard: *tenantsCap,
+		Prefetcher:         *prefetcher,
+		Degree:             *degree,
+		Scale:              *scale,
+		Metrics:            reg,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "dominoserve: %v\n", err)
+		return 2
+	}
+	srv.Start()
+
+	perClient := int64(0)
+	if *accesses > 0 {
+		perClient = (*accesses + int64(*clients) - 1) / int64(*clients)
+	}
+
+	var (
+		submitted atomic.Int64
+		wg        sync.WaitGroup
+		rings     = make([]*latRing, *clients)
+		clientErr = make(chan error, *clients)
+	)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		rings[c] = newLatRing(16384)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := params
+			p.Seed = int64(c + 1)
+			gen := workload.New(p)
+			buf := make([]mem.Access, *batch)
+			reply := make(chan serve.Result, 1)
+			tenant := fmt.Sprintf("tenant-%d", c)
+			var sent int64
+			for perClient == 0 || sent < perClient {
+				if ctx.Err() != nil {
+					return
+				}
+				n := int64(*batch)
+				if perClient > 0 && perClient-sent < n {
+					n = perClient - sent
+				}
+				for i := int64(0); i < n; i++ {
+					buf[i], _ = gen.Next()
+				}
+				t0 := time.Now()
+				err := srv.Submit(ctx, serve.Batch{Tenant: tenant, Accesses: buf[:n], Reply: reply})
+				if err != nil {
+					// Cancellation mid-submit is the normal signal path;
+					// anything else is a real failure.
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, serve.ErrClosed) {
+						clientErr <- fmt.Errorf("client %d: %w", c, err)
+					}
+					return
+				}
+				<-reply
+				rings[c].add(time.Since(t0))
+				sent += n
+				submitted.Add(n)
+			}
+		}(c)
+	}
+
+	if *report > 0 {
+		reportDone := make(chan struct{})
+		defer close(reportDone)
+		go func() {
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			var last int64
+			for {
+				select {
+				case <-reportDone:
+					return
+				case <-tick.C:
+					cur := submitted.Load()
+					fmt.Fprintf(stderr, "dominoserve: %d accesses (+%.0f/s)\n",
+						cur, float64(cur-last)/report.Seconds())
+					last = cur
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "dominoserve: drain: %v\n", err)
+		code = 1
+	}
+	select {
+	case err := <-clientErr:
+		fmt.Fprintf(stderr, "dominoserve: %v\n", err)
+		code = 1
+	default:
+	}
+
+	st := srv.Stats()
+	var prefetches uint64
+	for _, sh := range st.Shards {
+		prefetches += sh.Prefetches
+	}
+	hitRate := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	var all []time.Duration
+	for _, r := range rings {
+		all = append(all, r.samples()...)
+	}
+	var p50, p99 time.Duration
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p50 = all[len(all)/2]
+		p99 = all[len(all)*99/100]
+	}
+
+	fmt.Fprintf(stdout, "prefetcher=%s workload=%s shards=%d clients=%d batch=%d\n",
+		*prefetcher, params.Name, *shards, *clients, *batch)
+	fmt.Fprintf(stdout, "accesses=%d hits=%d misses=%d prefetches=%d hit_rate=%.4f\n",
+		st.Accesses, st.Hits, st.Misses, prefetches, hitRate)
+	fmt.Fprintf(stdout, "elapsed=%s throughput=%.0f accesses/sec batch_p50=%s batch_p99=%s\n",
+		elapsed.Round(time.Millisecond), float64(st.Accesses)/elapsed.Seconds(), p50, p99)
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "dominoserve: %v\n", err)
+			return 1
+		}
+		if err := reg.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "dominoserve: write metrics: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}

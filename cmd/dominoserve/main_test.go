@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-clients", "0"},
+		{"-batch", "0"},
+		{"-accesses", "-1"},
+		{"-prefetcher", "oracle"},
+		{"-workload", "NoSuchWorkload"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestBoundedRun(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-accesses", "20000", "-clients", "4", "-shards", "2", "-batch", "100", "-scale", "64"}
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "accesses=20000 ") {
+		t.Fatalf("summary missing exact access count:\n%s", got)
+	}
+	for _, want := range []string{"prefetcher=domino", "throughput=", "batch_p50=", "batch_p99="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestSignalDrain is the in-process race smoke: an until-signal run with
+// concurrent clients, cancelled mid-stream (the SIGTERM path), must drain
+// cleanly, exit 0, print a consistent summary and dump metrics.
+func TestSignalDrain(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	var out, errb strings.Builder
+	args := []string{"-accesses", "0", "-clients", "4", "-shards", "2", "-scale", "64", "-metrics", metrics,
+		"-report", "50ms"}
+	if code := run(ctx, args, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "accesses=") || !strings.Contains(got, "throughput=") {
+		t.Fatalf("summary missing after drain:\n%s", got)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "serve.shard0.accesses") {
+		t.Fatalf("metrics dump missing shard counters: %.200s", data)
+	}
+	if !strings.Contains(errb.String(), "accesses (+") {
+		t.Fatalf("no -report progress line on stderr: %s", errb.String())
+	}
+}

@@ -116,6 +116,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dominosim: invalid -j %d: the job count must be >= 0 (0 = one worker per CPU, 1 = serial)\n", *jobs)
 		return 2
 	}
+	if *warmup < 0 {
+		fmt.Fprintf(stderr, "dominosim: invalid -warmup %d: the warmup access count must be >= 0\n", *warmup)
+		return 2
+	}
 	if *decTraceF != "" && !*evalMode {
 		fmt.Fprintln(stderr, "dominosim: -decision-trace requires -eval (decisions are traced per evaluation, not per experiment)")
 		return 2

@@ -31,6 +31,20 @@ func TestRejectsNegativeJobs(t *testing.T) {
 	}
 }
 
+func TestRejectsNegativeWarmup(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-exp", "fig1", "-warmup", "-5"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "invalid -warmup -5") {
+		t.Fatalf("stderr = %q, want a clear -warmup error", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty: %q", out.String())
+	}
+}
+
 func TestDecisionTraceRequiresEval(t *testing.T) {
 	var out, errb strings.Builder
 	code := run(context.Background(), []string{"-exp", "fig1", "-decision-trace", "x.jsonl"}, &out, &errb)

@@ -17,6 +17,7 @@ type Buffer struct {
 	capacity int
 	entries  map[mem.Line]*bufEntry
 	fifo     []*bufEntry // insertion order; head at index 0
+	gone     int         // entries in fifo already consumed or invalidated
 
 	issued  uint64
 	used    uint64
@@ -75,8 +76,10 @@ func (b *Buffer) Insert(line mem.Line, tag string) bool {
 func (b *Buffer) evictOldest() {
 	for len(b.fifo) > 0 {
 		e := b.fifo[0]
+		b.fifo[0] = nil
 		b.fifo = b.fifo[1:]
 		if e.gone {
+			b.gone--
 			continue
 		}
 		delete(b.entries, e.line)
@@ -87,6 +90,30 @@ func (b *Buffer) evictOldest() {
 		}
 		return
 	}
+}
+
+// compact drops gone markers from the fifo once they outnumber the
+// capacity. Without it, gone entries are only drained by evictOldest —
+// which runs only when the buffer is full — so a high-accuracy prefetcher
+// whose blocks are consumed before the buffer ever fills would grow the
+// fifo by one retained *bufEntry per consumed prefetch, without bound.
+// Compacting keeps len(fifo) <= len(entries) + capacity, i.e. O(capacity),
+// while preserving the relative insertion order of live entries.
+func (b *Buffer) compact() {
+	if b.gone <= b.capacity {
+		return
+	}
+	kept := b.fifo[:0]
+	for _, e := range b.fifo {
+		if !e.gone {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(b.fifo); i++ {
+		b.fifo[i] = nil
+	}
+	b.fifo = kept
+	b.gone = 0
 }
 
 // OnEvict registers f to observe every line dropped before use. Pass nil
@@ -102,6 +129,8 @@ func (b *Buffer) Consume(line mem.Line) (tag string, ok bool) {
 	}
 	delete(b.entries, line)
 	e.gone = true
+	b.gone++
+	b.compact()
 	b.used++
 	return e.tag, true
 }
@@ -116,6 +145,8 @@ func (b *Buffer) Invalidate(line mem.Line) bool {
 	}
 	delete(b.entries, line)
 	e.gone = true
+	b.gone++
+	b.compact()
 	b.dropped++
 	if b.onEvict != nil {
 		b.onEvict(line)

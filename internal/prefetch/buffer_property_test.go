@@ -81,10 +81,11 @@ func (m *bufferModel) invalidate(line mem.Line) bool {
 // agreement, and exact content agreement.
 func TestBufferProperty(t *testing.T) {
 	for _, cfg := range []struct {
-		seed     int64
-		capacity int
-		keyspace int64
-		ops      int
+		seed         int64
+		capacity     int
+		keyspace     int64
+		ops          int
+		consumeHeavy bool
 	}{
 		// Tiny capacity with a small keyspace: constant displacement and
 		// frequent duplicate inserts.
@@ -95,6 +96,12 @@ func TestBufferProperty(t *testing.T) {
 		{seed: 3, capacity: 1, keyspace: 4, ops: 2000},
 		// Keyspace much larger than capacity: mostly cold misses.
 		{seed: 4, capacity: 8, keyspace: 1 << 30, ops: 4000},
+		// Consume-heavy: a large buffer that never fills because blocks
+		// are consumed almost as fast as they are inserted — the
+		// interleaving that used to grow the fifo without bound (gone
+		// entries were only drained by evictOldest, which runs only at
+		// capacity).
+		{seed: 5, capacity: 64, keyspace: 1 << 30, ops: 20000, consumeHeavy: true},
 	} {
 		buf := NewBuffer(cfg.capacity)
 		model := newBufferModel(cfg.capacity)
@@ -105,6 +112,21 @@ func TestBufferProperty(t *testing.T) {
 		for op := 0; op < cfg.ops; op++ {
 			line := mem.Line(rng.Int63n(cfg.keyspace))
 			switch r := rng.Intn(10); {
+			case cfg.consumeHeavy:
+				// Insert, then (almost always) consume straight away, so
+				// the buffer stays far below capacity for the whole run.
+				tag := "t"
+				if got, want := buf.Insert(line, tag), model.insert(line, tag); got != want {
+					t.Fatalf("seed %d op %d: Insert(%d) = %v, model %v", cfg.seed, op, line, got, want)
+				}
+				if r < 9 {
+					gotTag, got := buf.Consume(line)
+					wantTag, want := model.consume(line)
+					if got != want || gotTag != wantTag {
+						t.Fatalf("seed %d op %d: Consume(%d) = %q,%v, model %q,%v",
+							cfg.seed, op, line, gotTag, got, wantTag, want)
+					}
+				}
 			case r < 6:
 				tag := "t" + string(rune('a'+rng.Intn(3)))
 				got, want := buf.Insert(line, tag), model.insert(line, tag)
@@ -126,6 +148,14 @@ func TestBufferProperty(t *testing.T) {
 
 			if buf.Len() > cfg.capacity {
 				t.Fatalf("seed %d op %d: Len %d exceeds capacity %d", cfg.seed, op, buf.Len(), cfg.capacity)
+			}
+			// The fifo may retain gone markers between compactions, but
+			// never more than capacity of them: its length stays
+			// O(capacity) under every interleaving, including the
+			// consume-heavy one where the buffer never fills.
+			if len(buf.fifo) > 2*cfg.capacity {
+				t.Fatalf("seed %d op %d: len(fifo) = %d, want <= %d (gone entries not compacted)",
+					cfg.seed, op, len(buf.fifo), 2*cfg.capacity)
 			}
 			if buf.Len() != len(model.order) {
 				t.Fatalf("seed %d op %d: Len %d, model %d", cfg.seed, op, buf.Len(), len(model.order))

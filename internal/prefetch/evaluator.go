@@ -126,6 +126,11 @@ type Evaluator struct {
 	seq        uint64   // triggering events seen, counted only when tracing
 	tracing    bool     // inside a sampled Step: buffer evictions are recorded
 	evicted    []uint64 // scratch for the current sampled Step
+
+	// onIssue, if set, observes every non-redundant candidate inserted
+	// into the prefetch buffer (Session uses it to surface per-access
+	// prefetch decisions to external callers).
+	onIssue func(Candidate)
 }
 
 // NewEvaluator builds an evaluator for p under cfg.
@@ -230,6 +235,9 @@ func (e *Evaluator) Step(a mem.Access) (Event, bool) {
 			continue // redundant prefetch: already on chip
 		}
 		e.buf.Insert(c.Line, c.Tag)
+		if e.onIssue != nil {
+			e.onIssue(c)
+		}
 	}
 	if e.tracing {
 		e.tracing = false
@@ -240,6 +248,10 @@ func (e *Evaluator) Step(a mem.Access) (Event, bool) {
 	}
 	return ev, true
 }
+
+// OnIssue registers f to observe every non-redundant prefetch candidate
+// as it is inserted into the buffer. Pass nil to disable.
+func (e *Evaluator) OnIssue(f func(Candidate)) { e.onIssue = f }
 
 // ResetStats discards everything measured so far — counters, stream
 // histogram, and traffic — while keeping all warm state: cache and buffer
@@ -321,7 +333,16 @@ func Run(tr trace.Reader, p Prefetcher, cfg EvalConfig) *Result {
 // silently skipping the reset and reporting warmup accesses as measured
 // statistics — made a too-short trace indistinguishable from a real
 // measurement.
+//
+// A negative warmup is clamped to zero — the whole trace is measured, the
+// same as Run. Before the clamp, a negative value silently skipped the
+// reset bookkeeping entirely, which happened to measure the whole trace
+// but left the API accepting a nonsensical request without comment;
+// callers that compute warmup windows should not rely on that accident.
 func RunWarm(tr trace.Reader, p Prefetcher, cfg EvalConfig, warmup int) *Result {
+	if warmup < 0 {
+		warmup = 0
+	}
 	e := NewEvaluator(p, cfg)
 	n := 0
 	for {

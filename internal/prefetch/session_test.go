@@ -1,0 +1,130 @@
+package prefetch
+
+import (
+	"testing"
+
+	"domino/internal/mem"
+)
+
+// scriptedPrefetcher issues a fixed set of candidates on every miss, so
+// Session outcomes are fully predictable.
+type scriptedPrefetcher struct {
+	next []Candidate
+}
+
+func (p *scriptedPrefetcher) Name() string { return "scripted" }
+func (p *scriptedPrefetcher) Trigger(ev Event) []Candidate {
+	if ev.Kind != mem.EventMiss {
+		return nil
+	}
+	return p.next
+}
+
+func access(line mem.Line) mem.Access {
+	return mem.Access{PC: 0x400000, Addr: line.Addr()}
+}
+
+func TestSessionAccessOutcomes(t *testing.T) {
+	p := &scriptedPrefetcher{next: []Candidate{{Line: 100, Tag: "s"}, {Line: 101, Tag: "s"}}}
+	s := NewSession(p, EvalConfig{BufferBlocks: 4})
+
+	// Cold miss: triggers, not covered, issues the scripted prefetches.
+	out := s.Access(access(1))
+	if !out.Triggered || out.Hit {
+		t.Fatalf("cold miss: Triggered=%v Hit=%v, want true,false", out.Triggered, out.Hit)
+	}
+	if len(out.Prefetched) != 2 || out.Prefetched[0] != 100 || out.Prefetched[1] != 101 {
+		t.Fatalf("Prefetched = %v, want [100 101]", out.Prefetched)
+	}
+
+	// Same line again: L1 hit, no trigger.
+	if out := s.Access(access(1)); out.Triggered {
+		t.Fatal("L1 hit must not trigger")
+	}
+
+	// A prefetched line: covered miss. The prefetcher issues nothing on
+	// hits, and line 101 is already buffered, so nothing new is issued.
+	p.next = nil
+	out = s.Access(access(100))
+	if !out.Triggered || !out.Hit {
+		t.Fatalf("prefetched line: Triggered=%v Hit=%v, want true,true", out.Triggered, out.Hit)
+	}
+	if len(out.Prefetched) != 0 {
+		t.Fatalf("Prefetched = %v, want none", out.Prefetched)
+	}
+
+	st := s.Stats()
+	if st.Accesses != 3 || st.L1Hits != 1 || st.Misses != 2 || st.Covered != 1 {
+		t.Fatalf("Stats = %+v, want accesses=3 l1hits=1 misses=2 covered=1", st)
+	}
+	if st.Issued != 2 || st.Used != 1 {
+		t.Fatalf("Stats = %+v, want issued=2 used=1", st)
+	}
+	if got := st.Coverage(); got != 0.5 {
+		t.Fatalf("Coverage = %v, want 0.5", got)
+	}
+}
+
+func TestSessionRedundantCandidatesNotSurfaced(t *testing.T) {
+	p := &scriptedPrefetcher{next: []Candidate{{Line: 200, Tag: "s"}}}
+	s := NewSession(p, EvalConfig{BufferBlocks: 4})
+	if out := s.Access(access(1)); len(out.Prefetched) != 1 {
+		t.Fatalf("first miss should issue one prefetch, got %v", out.Prefetched)
+	}
+	// Line 200 is buffered now: issuing it again is redundant and must
+	// not be surfaced to the caller.
+	if out := s.Access(access(2)); len(out.Prefetched) != 0 {
+		t.Fatalf("redundant candidate surfaced: %v", out.Prefetched)
+	}
+}
+
+func TestSessionResetStatsKeepsWarmState(t *testing.T) {
+	p := &scriptedPrefetcher{next: []Candidate{{Line: 300, Tag: "s"}}}
+	s := NewSession(p, EvalConfig{BufferBlocks: 4})
+	s.Access(access(1))
+	s.ResetStats()
+	if st := s.Stats(); st.Accesses != 0 || st.Issued != 0 {
+		t.Fatalf("Stats after reset = %+v, want zeros", st)
+	}
+	// The buffered prefetch survives the reset: consuming it is a covered
+	// miss in the new measurement window.
+	p.next = nil
+	if out := s.Access(access(300)); !out.Hit {
+		t.Fatal("warm buffer content lost across ResetStats")
+	}
+}
+
+// TestRunWarmNegativeWarmupClamped pins the API-boundary clamp: a negative
+// warmup measures the whole trace, exactly like Run.
+func TestRunWarmNegativeWarmupClamped(t *testing.T) {
+	mk := func() *sliceReader {
+		var as []mem.Access
+		for i := 0; i < 100; i++ {
+			as = append(as, access(mem.Line(i%10)))
+		}
+		return &sliceReader{accesses: as}
+	}
+	got := RunWarm(mk(), Null{}, EvalConfig{BufferBlocks: 4}, -7)
+	want := Run(mk(), Null{}, EvalConfig{BufferBlocks: 4})
+	if got.Accesses != want.Accesses || got.Misses != want.Misses {
+		t.Fatalf("negative warmup: accesses/misses = %d/%d, want %d/%d (whole trace measured)",
+			got.Accesses, got.Misses, want.Accesses, want.Misses)
+	}
+	if got.Accesses != 100 {
+		t.Fatalf("accesses = %d, want 100", got.Accesses)
+	}
+}
+
+type sliceReader struct {
+	accesses []mem.Access
+	i        int
+}
+
+func (r *sliceReader) Next() (mem.Access, bool) {
+	if r.i >= len(r.accesses) {
+		return mem.Access{}, false
+	}
+	a := r.accesses[r.i]
+	r.i++
+	return a, true
+}

@@ -25,6 +25,7 @@ type Stream struct {
 	sinceHit int
 	ended    bool
 	inflight []mem.Line // lines issued for this stream, for O(1) disowning
+	settled  int        // inflight entries no longer owned (consumed hits)
 	id       uint64     // StreamSet slot id; recycled when the stream is disowned
 }
 
@@ -60,6 +61,7 @@ func (s *Stream) Reset(queue []mem.Line, refill func() []mem.Line) {
 	s.sinceHit = 0
 	s.ended = false
 	s.inflight = s.inflight[:0]
+	s.settled = 0
 }
 
 // StreamSet tracks the active streams of a temporal prefetcher: at most max
@@ -141,6 +143,7 @@ func (ss *StreamSet) disown(s *Stream) {
 		}
 	}
 	s.inflight = s.inflight[:0]
+	s.settled = 0
 	ss.byID[s.id] = nil
 	ss.free = append(ss.free, s.id)
 }
@@ -165,10 +168,33 @@ func (ss *StreamSet) OnPrefetchHit(line mem.Line) *Stream {
 	// recycled.
 	s := ss.byID[id]
 	ss.owner.Delete(uint64(line))
+	s.settled++
+	ss.compactInflight(s)
 	s.sinceHit = 0
 	s.ended = false
 	ss.promote(s)
 	return s
+}
+
+// compactInflight drops settled lines from s's in-flight tracking slice
+// once they make up at least half of it. Consumed prefetch hits delete the
+// owner-map entry but used to leave the line in s.inflight, so a long-lived
+// stream's slice grew by one entry for every prefetch it ever issued. The
+// amortised rebuild keeps len(inflight) proportional to the lines actually
+// still owned: entries whose ownership was consumed or claimed by a newer
+// stream are filtered out through the owner map.
+func (ss *StreamSet) compactInflight(s *Stream) {
+	if s.settled < 16 || 2*s.settled < len(s.inflight) {
+		return
+	}
+	kept := s.inflight[:0]
+	for _, line := range s.inflight {
+		if id, ok := ss.owner.Get(uint64(line)); ok && id == s.id {
+			kept = append(kept, line)
+		}
+	}
+	s.inflight = kept
+	s.settled = 0
 }
 
 func (ss *StreamSet) promote(s *Stream) {

@@ -125,6 +125,69 @@ func TestPromoteToMRU(t *testing.T) {
 	}
 }
 
+// TestInflightBoundedOnPrefetchHits pins the fix for the per-stream
+// in-flight leak: OnPrefetchHit deletes the owner-map entry but used to
+// leave the consumed line in Stream.inflight, so a long-lived stream's
+// slice grew by one entry for every prefetch it ever issued. With the
+// amortised compaction, the slice stays proportional to the lines actually
+// in flight no matter how many prefetches the stream serves.
+func TestInflightBoundedOnPrefetchHits(t *testing.T) {
+	ss := NewStreamSet(4, 4)
+	s := &Stream{}
+	ss.Insert(s)
+	const hits = 100_000
+	for i := 0; i < hits; i++ {
+		line := mem.Line(1000 + i)
+		ss.Issued(s, line)
+		if got := ss.OnPrefetchHit(line); got != s {
+			t.Fatalf("hit %d not attributed to stream", i)
+		}
+	}
+	if len(s.inflight) > 64 {
+		t.Fatalf("len(inflight) = %d after %d issue/hit pairs, want bounded (<= 64)", len(s.inflight), hits)
+	}
+	// Compaction must not disturb live ownership: a still-in-flight line
+	// keeps its claim across compactions triggered by later hits.
+	live := mem.Line(7)
+	ss.Issued(s, live)
+	for i := 0; i < 1000; i++ {
+		line := mem.Line(1<<40) + mem.Line(i)
+		ss.Issued(s, line)
+		ss.OnPrefetchHit(line)
+	}
+	if got := ss.OnPrefetchHit(live); got != s {
+		t.Fatal("live in-flight line lost its ownership across compactions")
+	}
+}
+
+// TestInflightCompactionDropsStolenLines verifies that lines whose
+// ownership a newer stream claimed are also dropped from the older
+// stream's tracking during compaction, and that disown afterwards does not
+// remove the newer stream's claim.
+func TestInflightCompactionDropsStolenLines(t *testing.T) {
+	ss := NewStreamSet(4, 4)
+	a, b := &Stream{}, &Stream{}
+	ss.Insert(a)
+	ss.Insert(b)
+	stolen := mem.Line(99)
+	ss.Issued(a, stolen)
+	ss.Issued(b, stolen) // newer stream wins ownership
+	// Drive enough hits through a to trigger its compaction.
+	for i := 0; i < 100; i++ {
+		line := mem.Line(2000 + i)
+		ss.Issued(a, line)
+		ss.OnPrefetchHit(line)
+	}
+	for _, l := range a.inflight {
+		if l == stolen {
+			t.Fatal("stolen line still tracked by the older stream after compaction")
+		}
+	}
+	if got := ss.OnPrefetchHit(stolen); got != b {
+		t.Fatalf("stolen line attributed to %p, want newer stream %p", got, b)
+	}
+}
+
 func TestNewerStreamWinsOwnership(t *testing.T) {
 	ss := NewStreamSet(4, 4)
 	a, b := &Stream{}, &Stream{}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"domino/internal/mem"
+)
+
+// BenchmarkServeThroughput measures the serving hot path end to end:
+// concurrent client goroutines submitting batches to a sharded server and
+// waiting for each reply. ns/op is the cost per access (the load driver in
+// cmd/dominoserve reports the inverse, accesses/sec); p50/p99 batch
+// latencies are attached as custom metrics so regressions in tail latency
+// are visible even when mean throughput holds.
+func BenchmarkServeThroughput(b *testing.B) {
+	const (
+		clients   = 4
+		batchSize = 256
+	)
+	cfg := Config{Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+
+	// Per-client traces, generated outside the timed region. Each client is
+	// its own tenant, so shards see a realistic multi-tenant mix.
+	traces := make([][]mem.Access, clients)
+	for c := range traces {
+		traces[c] = collectN(64*batchSize, int64(c+1))
+	}
+
+	perClient := b.N / clients
+	var mu sync.Mutex
+	var lat []time.Duration
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("bench-%d", c)
+			reply := make(chan Result, 1)
+			trace := traces[c]
+			pos := 0
+			local := make([]time.Duration, 0, perClient/batchSize+1)
+			for done := 0; done < perClient; {
+				n := batchSize
+				if perClient-done < n {
+					n = perClient - done
+				}
+				if pos+n > len(trace) {
+					pos = 0
+				}
+				start := time.Now()
+				err := s.Submit(context.Background(), Batch{
+					Tenant:   tenant,
+					Accesses: trace[pos : pos+n],
+					Reply:    reply,
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				<-reply
+				local = append(local, time.Since(start))
+				pos += n
+				done += n
+			}
+			mu.Lock()
+			lat = append(lat, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err := s.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50 := lat[len(lat)/2]
+		p99 := lat[len(lat)*99/100]
+		b.ReportMetric(float64(p50.Nanoseconds()), "p50-batch-ns")
+		b.ReportMetric(float64(p99.Nanoseconds()), "p99-batch-ns")
+	}
+}

@@ -1,0 +1,435 @@
+// Package serve turns the batch simulator into a long-running streaming
+// prefetch service: N shards of prefetcher metadata, each owned by a
+// single-writer goroutine fed by a bounded channel of batched accesses,
+// serving many concurrent per-tenant access streams.
+//
+// Tenants are hashed to shards, so every access of one tenant is handled
+// by the same goroutine in arrival order — sessions need no locks, and a
+// tenant's prefetcher metadata (its own prefetch.Session) is fully
+// isolated from every other tenant's. Backpressure is the bounded shard
+// queue: Submit blocks (or TrySubmit refuses) when a shard is at
+// QueueDepth pending batches, so a hot tenant cannot grow server memory;
+// it slows its own producers instead.
+//
+// Steady-state memory is strictly bounded, which is what makes the service
+// safe to run indefinitely: prefetcher metadata tables are finite (the
+// serving builder never uses history.Unlimited), per-shard session counts
+// are capped with least-recently-active eviction, and the per-session
+// buffer/stream bookkeeping compacts itself (the bugfixes pinned by this
+// package's soak test).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"domino/internal/core"
+	"domino/internal/digram"
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+	"domino/internal/stms"
+	"domino/internal/telemetry"
+)
+
+// ErrClosed is returned by Submit and TrySubmit after Drain or Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrBusy is returned by TrySubmit when the tenant's shard queue is full.
+var ErrBusy = errors.New("serve: shard queue full")
+
+// Config parameterises a Server. The zero value of every field is replaced
+// by the default documented on it.
+type Config struct {
+	// Shards is the number of single-writer metadata shards (default 4).
+	Shards int
+	// QueueDepth is the per-shard bounded queue length, in batches
+	// (default 64). A full queue is the backpressure signal.
+	QueueDepth int
+	// MaxTenantsPerShard caps the sessions a shard keeps warm (default
+	// 64). Admitting a tenant beyond the cap evicts the shard's least
+	// recently active session, metadata and all.
+	MaxTenantsPerShard int
+	// Prefetcher is the prefetcher kind each tenant session trains
+	// ("domino", "stms" or "digram"; default "domino").
+	Prefetcher string
+	// Degree is the prefetch degree (default 4).
+	Degree int
+	// Scale divides the paper-size metadata tables, exactly as in the
+	// simulator (default 16). Serving always uses finite tables: the
+	// unlimited-metadata configurations of the paper's sensitivity
+	// studies are a batch-simulation device, not a deployment shape.
+	Scale int
+	// BufferBlocks is the per-session prefetch-buffer capacity (default
+	// 32, the paper's size).
+	BufferBlocks int
+	// Metrics, if non-nil, receives per-shard throughput counters, queue
+	// depth gauges and batch latency timers under "serve.*". A nil
+	// registry costs nothing on the hot path.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxTenantsPerShard <= 0 {
+		c.MaxTenantsPerShard = 64
+	}
+	if c.Prefetcher == "" {
+		c.Prefetcher = "domino"
+	}
+	if c.Degree <= 0 {
+		c.Degree = 4
+	}
+	if c.Scale <= 0 {
+		c.Scale = 16
+	}
+	if c.BufferBlocks <= 0 {
+		c.BufferBlocks = 32
+	}
+	return c
+}
+
+// buildPrefetcher constructs one tenant's prefetcher with finite metadata
+// tables. STMS and Digram default to unlimited history tables in the
+// simulator (the paper's configuration); here their history capacity is
+// the Domino HT capacity at the same scale, so every serving prefetcher
+// has the same bounded-residency story.
+func buildPrefetcher(c Config) (prefetch.Prefetcher, error) {
+	switch c.Prefetcher {
+	case "domino":
+		return core.New(core.ScaledConfig(c.Degree, c.Scale), nil), nil
+	case "stms":
+		sc := stms.DefaultConfig(c.Degree)
+		sc.HTEntries = core.ScaledConfig(c.Degree, c.Scale).Tables.HTEntries
+		return stms.New(sc, nil), nil
+	case "digram":
+		dc := digram.DefaultConfig(c.Degree)
+		dc.HTEntries = core.ScaledConfig(c.Degree, c.Scale).Tables.HTEntries
+		return digram.New(dc, nil), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown prefetcher %q (have domino, stms, digram)", c.Prefetcher)
+	}
+}
+
+// Batch is one unit of work: a run of consecutive accesses from one
+// tenant's stream, in program order.
+type Batch struct {
+	// Tenant names the access stream; it selects the shard and the
+	// session. Accesses of one tenant are processed in submission order.
+	Tenant string
+	// Accesses are the tenant's next accesses, oldest first.
+	Accesses []mem.Access
+	// Reply, if non-nil, receives exactly one Result when the batch has
+	// been processed. The shard's send blocks until the caller receives
+	// (or the channel has room), so give Reply capacity if the client
+	// does anything else between submit and receive.
+	Reply chan<- Result
+}
+
+// Result is the service's answer for one batch.
+type Result struct {
+	// Tenant echoes the batch's tenant.
+	Tenant string
+	// Accesses is the number of accesses processed.
+	Accesses int
+	// Hits counts accesses covered by the tenant's prefetch buffer;
+	// Misses counts uncovered L1 misses (L1 hits are neither).
+	Hits   int
+	Misses int
+	// Prefetched lists the lines the service decided to prefetch for this
+	// batch, in issue order. The slice is owned by the caller.
+	Prefetched []mem.Line
+}
+
+// ShardStats is one shard's lifetime totals.
+type ShardStats struct {
+	Shard      int
+	Batches    uint64
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Prefetches uint64
+	Tenants    int
+	Evicted    uint64
+}
+
+// Stats aggregates the per-shard totals.
+type Stats struct {
+	Shards   []ShardStats
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// Server is the sharded prefetch service. Construct with New, launch with
+// Start, feed with Submit/TrySubmit, stop with Drain.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed vs. in-flight Submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// shard is one single-writer metadata partition. Everything below `in` is
+// owned by the shard goroutine; the stats fields are written by it and
+// read by Stats through the counters (atomics via telemetry) plus a
+// snapshot mutex for the plain fields.
+type shard struct {
+	id  int
+	in  chan Batch
+	cfg Config
+
+	// telemetry (nil-safe when no registry is configured)
+	queueDepth *telemetry.Gauge
+	tenantsG   *telemetry.Gauge
+	accessesC  *telemetry.Counter
+	batchesC   *telemetry.Counter
+	hitsC      *telemetry.Counter
+	prefetchC  *telemetry.Counter
+	batchTimer *telemetry.Timer
+
+	// goroutine-owned state
+	tenants map[string]*tenantSession
+	clock   uint64
+
+	statMu sync.Mutex
+	stats  ShardStats
+}
+
+// tenantSession is one tenant's pipeline plus its recency stamp.
+type tenantSession struct {
+	sess *prefetch.Session
+	seen uint64
+}
+
+// New validates cfg (building a throwaway prefetcher to fail fast on an
+// unknown kind) and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, err := buildPrefetcher(cfg); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:      i,
+			in:      make(chan Batch, cfg.QueueDepth),
+			cfg:     cfg,
+			tenants: make(map[string]*tenantSession, cfg.MaxTenantsPerShard),
+			stats:   ShardStats{Shard: i},
+		}
+		if reg := cfg.Metrics; reg != nil {
+			p := fmt.Sprintf("serve.shard%d.", i)
+			sh.queueDepth = reg.Gauge(p + "queue_depth")
+			sh.tenantsG = reg.Gauge(p + "tenants")
+			sh.accessesC = reg.Counter(p + "accesses")
+			sh.batchesC = reg.Counter(p + "batches")
+			sh.hitsC = reg.Counter(p + "hits")
+			sh.prefetchC = reg.Counter(p + "prefetches")
+			sh.batchTimer = reg.Timer(p + "batch")
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the shard goroutines.
+func (s *Server) Start() {
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go func(sh *shard) {
+			defer s.wg.Done()
+			sh.run()
+		}(sh)
+	}
+}
+
+// shardFor hashes a tenant onto its shard.
+func (s *Server) shardFor(tenant string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Submit enqueues b on its tenant's shard, blocking while the shard queue
+// is full — the backpressure path. It returns ctx.Err() if ctx is done
+// first, and ErrClosed once the server is draining or closed.
+func (s *Server) Submit(ctx context.Context, b Batch) error {
+	sh := s.shardFor(b.Tenant)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.in <- b:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit is the non-blocking Submit: it returns ErrBusy instead of
+// waiting when the shard queue is full, for callers that prefer load
+// shedding over backpressure.
+func (s *Server) TrySubmit(b Batch) error {
+	sh := s.shardFor(b.Tenant)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.in <- b:
+		return nil
+	default:
+		return ErrBusy
+	}
+}
+
+// Drain stops the server gracefully: new submissions fail with ErrClosed,
+// every batch already queued is processed, and Drain returns when all
+// shards have gone idle (or with ctx.Err() if ctx expires first — the
+// shards keep draining in the background in that case).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, sh := range s.shards {
+			close(sh.in)
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the per-shard lifetime totals.
+func (s *Server) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		sh.statMu.Lock()
+		st := sh.stats
+		sh.statMu.Unlock()
+		out.Shards = append(out.Shards, st)
+		out.Accesses += st.Accesses
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+	}
+	return out
+}
+
+// run is the shard goroutine: drain batches until the input channel
+// closes, applying each batch to its tenant's session in order.
+func (sh *shard) run() {
+	for b := range sh.in {
+		sh.queueDepth.Set(int64(len(sh.in)))
+		stop := sh.batchTimer.Start()
+		res := sh.process(b)
+		stop()
+
+		sh.batchesC.Inc()
+		sh.accessesC.Add(int64(res.Accesses))
+		sh.hitsC.Add(int64(res.Hits))
+		sh.prefetchC.Add(int64(len(res.Prefetched)))
+
+		sh.statMu.Lock()
+		sh.stats.Batches++
+		sh.stats.Accesses += uint64(res.Accesses)
+		sh.stats.Hits += uint64(res.Hits)
+		sh.stats.Misses += uint64(res.Misses)
+		sh.stats.Prefetches += uint64(len(res.Prefetched))
+		sh.stats.Tenants = len(sh.tenants)
+		sh.statMu.Unlock()
+
+		if b.Reply != nil {
+			b.Reply <- res
+		}
+	}
+	sh.queueDepth.Set(0)
+}
+
+// process trains and looks up one batch against its tenant's session.
+func (sh *shard) process(b Batch) Result {
+	t := sh.session(b.Tenant)
+	res := Result{Tenant: b.Tenant, Accesses: len(b.Accesses)}
+	for _, a := range b.Accesses {
+		out := t.sess.Access(a)
+		if out.Triggered {
+			if out.Hit {
+				res.Hits++
+			} else {
+				res.Misses++
+			}
+		}
+		if len(out.Prefetched) > 0 {
+			res.Prefetched = append(res.Prefetched, out.Prefetched...)
+		}
+	}
+	return res
+}
+
+// session returns the tenant's session, admitting it (and evicting the
+// least recently active tenant when the shard is at capacity) on first
+// use. Only the shard goroutine calls this.
+func (sh *shard) session(tenant string) *tenantSession {
+	sh.clock++
+	t, ok := sh.tenants[tenant]
+	if !ok {
+		if len(sh.tenants) >= sh.cfg.MaxTenantsPerShard {
+			sh.evictColdest()
+		}
+		p, err := buildPrefetcher(sh.cfg)
+		if err != nil {
+			// New validated the kind; reaching this is a programming error.
+			panic(err)
+		}
+		cfg := prefetch.DefaultEvalConfig()
+		cfg.BufferBlocks = sh.cfg.BufferBlocks
+		t = &tenantSession{sess: prefetch.NewSession(p, cfg)}
+		sh.tenants[tenant] = t
+		sh.tenantsG.Set(int64(len(sh.tenants)))
+	}
+	t.seen = sh.clock
+	return t
+}
+
+// evictColdest drops the least recently active tenant. Linear scan: the
+// per-shard tenant cap is small (default 64).
+func (sh *shard) evictColdest() {
+	var victim string
+	var oldest uint64
+	first := true
+	for name, t := range sh.tenants {
+		if first || t.seen < oldest {
+			victim, oldest, first = name, t.seen, false
+		}
+	}
+	if !first {
+		delete(sh.tenants, victim)
+		sh.statMu.Lock()
+		sh.stats.Evicted++
+		sh.statMu.Unlock()
+	}
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+	"domino/internal/telemetry"
+	"domino/internal/trace"
+	"domino/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{Shards: 2, QueueDepth: 8, MaxTenantsPerShard: 4, Prefetcher: "domino", Scale: 64}
+}
+
+func collect(t *testing.T, n int, seed int64) []mem.Access {
+	t.Helper()
+	return collectN(n, seed)
+}
+
+func collectN(n int, seed int64) []mem.Access {
+	p := workload.ByName("OLTP")
+	p.Seed = seed
+	return trace.Collect(workload.New(p), n).Accesses
+}
+
+func newSessionForTest(c Config, p prefetch.Prefetcher) *prefetch.Session {
+	ec := prefetch.DefaultEvalConfig()
+	ec.BufferBlocks = c.BufferBlocks
+	return prefetch.NewSession(p, ec)
+}
+
+func TestServerRejectsUnknownPrefetcher(t *testing.T) {
+	if _, err := New(Config{Prefetcher: "oracle"}); err == nil {
+		t.Fatal("unknown prefetcher accepted")
+	}
+}
+
+func TestServerProcessesBatchesInOrder(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	accesses := collect(t, 10_000, 1)
+
+	reply := make(chan Result, 1)
+	var hits, misses, total int
+	for i := 0; i < len(accesses); i += 100 {
+		b := Batch{Tenant: "t0", Accesses: accesses[i : i+100], Reply: reply}
+		if err := s.Submit(context.Background(), b); err != nil {
+			t.Fatal(err)
+		}
+		r := <-reply
+		hits += r.Hits
+		misses += r.Misses
+		total += r.Accesses
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(accesses) {
+		t.Fatalf("processed %d accesses, want %d", total, len(accesses))
+	}
+	st := s.Stats()
+	if st.Accesses != uint64(total) || st.Hits != uint64(hits) || st.Misses != uint64(misses) {
+		t.Fatalf("Stats = %+v, want accesses=%d hits=%d misses=%d", st, total, hits, misses)
+	}
+	// A temporal workload trained in order must find recurring streams:
+	// some prefetch-buffer hits, and far fewer hits than accesses.
+	if hits == 0 || hits >= total {
+		t.Fatalf("hits = %d of %d accesses: training looks broken", hits, total)
+	}
+}
+
+// TestServerMatchesSession pins shard routing and batching as pure
+// plumbing: the concurrent server must produce exactly the per-tenant
+// results a directly driven Session produces on the same stream.
+func TestServerMatchesSession(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	tenants := []string{"alpha", "beta", "gamma"}
+	streams := make(map[string][]mem.Access)
+	for i, tn := range tenants {
+		streams[tn] = collect(t, 5000, int64(100+i))
+	}
+
+	var wg sync.WaitGroup
+	got := make(map[string]*Result)
+	var mu sync.Mutex
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(tn string) {
+			defer wg.Done()
+			reply := make(chan Result, 1)
+			agg := &Result{Tenant: tn}
+			accesses := streams[tn]
+			for i := 0; i < len(accesses); i += 250 {
+				if err := s.Submit(context.Background(), Batch{Tenant: tn, Accesses: accesses[i : i+250], Reply: reply}); err != nil {
+					t.Error(err)
+					return
+				}
+				r := <-reply
+				agg.Accesses += r.Accesses
+				agg.Hits += r.Hits
+				agg.Misses += r.Misses
+				agg.Prefetched = append(agg.Prefetched, r.Prefetched...)
+			}
+			mu.Lock()
+			got[tn] = agg
+			mu.Unlock()
+		}(tn)
+	}
+	wg.Wait()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tn := range tenants {
+		p, err := buildPrefetcher(cfg.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := newSessionForTest(cfg.withDefaults(), p)
+		want := Result{Tenant: tn}
+		for _, a := range streams[tn] {
+			out := sess.Access(a)
+			if out.Triggered {
+				if out.Hit {
+					want.Hits++
+				} else {
+					want.Misses++
+				}
+			}
+			want.Prefetched = append(want.Prefetched, out.Prefetched...)
+		}
+		g := got[tn]
+		if g == nil {
+			t.Fatalf("tenant %s: no result", tn)
+		}
+		if g.Hits != want.Hits || g.Misses != want.Misses || len(g.Prefetched) != len(want.Prefetched) {
+			t.Fatalf("tenant %s: server hits/misses/prefetches = %d/%d/%d, session %d/%d/%d",
+				tn, g.Hits, g.Misses, len(g.Prefetched), want.Hits, want.Misses, len(want.Prefetched))
+		}
+		for i := range g.Prefetched {
+			if g.Prefetched[i] != want.Prefetched[i] {
+				t.Fatalf("tenant %s: prefetch %d = %v, session issued %v", tn, i, g.Prefetched[i], want.Prefetched[i])
+			}
+		}
+	}
+}
+
+func TestSubmitAfterDrainFails(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(context.Background(), Batch{Tenant: "t"}); err != ErrClosed {
+		t.Fatalf("Submit after Drain = %v, want ErrClosed", err)
+	}
+	if err := s.TrySubmit(Batch{Tenant: "t"}); err != ErrClosed {
+		t.Fatalf("TrySubmit after Drain = %v, want ErrClosed", err)
+	}
+	// Drain is idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+}
+
+// TestBackpressure checks both faces of a full shard queue: TrySubmit
+// refuses with ErrBusy, and Submit blocks until the caller's context
+// expires.
+func TestBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: nothing drains the queue, so it fills and stays full.
+	a := collect(t, 8, 1)
+	for i := 0; i < cfg.QueueDepth; i++ {
+		if err := s.TrySubmit(Batch{Tenant: "t", Accesses: a}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if err := s.TrySubmit(Batch{Tenant: "t", Accesses: a}); err != ErrBusy {
+		t.Fatalf("TrySubmit on full queue = %v, want ErrBusy", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Submit(ctx, Batch{Tenant: "t", Accesses: a}); err != context.DeadlineExceeded {
+		t.Fatalf("Submit on full queue = %v, want DeadlineExceeded", err)
+	}
+	// Start and drain so the goroutines exit.
+	s.Start()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTenantCapEvictsColdest(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.MaxTenantsPerShard = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	a := collect(t, 64, 1)
+	reply := make(chan Result, 1)
+	for _, tn := range []string{"a", "b", "a", "c", "a", "d"} {
+		if err := s.Submit(context.Background(), Batch{Tenant: tn, Accesses: a, Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		<-reply
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Shards[0].Tenants > 2 {
+		t.Fatalf("shard holds %d tenants, cap is 2", st.Shards[0].Tenants)
+	}
+	// b and c each had to make room (b for c, c for d); a stayed hot.
+	if st.Shards[0].Evicted < 2 {
+		t.Fatalf("evictions = %d, want >= 2", st.Shards[0].Evicted)
+	}
+}
+
+func TestMetricsPublished(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = telemetry.New()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t", Accesses: collect(t, 500, 1), Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	<-reply
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var accesses int64
+	var sawTimer bool
+	for _, m := range cfg.Metrics.Snapshot() {
+		if m.Kind == "counter" && m.Value != nil {
+			if len(m.Name) > 6 && m.Name[:6] == "serve." && hasSuffix(m.Name, ".accesses") {
+				accesses += *m.Value
+			}
+		}
+		if m.Kind == "timer" && hasSuffix(m.Name, ".batch") && m.Timer.Count > 0 {
+			sawTimer = true
+		}
+	}
+	if accesses != 500 {
+		t.Fatalf("serve.*.accesses total = %d, want 500", accesses)
+	}
+	if !sawTimer {
+		t.Fatal("no batch latency timer observation recorded")
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// TestDrainUnderLoad floods the server from several goroutines, drains
+// mid-stream, and checks every accepted batch was processed — no work
+// accepted before Drain may be dropped.
+func TestDrainUnderLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	const clients = 4
+	accepted := make([]uint64, clients)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a := collect(t, 256, int64(c))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := s.Submit(context.Background(), Batch{Tenant: fmt.Sprintf("t%d", c), Accesses: a})
+				if err == ErrClosed {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				accepted[c] += uint64(len(a))
+			}
+		}(c)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait() // every accepted Submit has returned before the drain count
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, n := range accepted {
+		want += n
+	}
+	if got := s.Stats().Accesses; got != want {
+		t.Fatalf("processed %d accesses, accepted %d: drain dropped work", got, want)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+
+	"domino/internal/mem"
+	"domino/internal/prefetch"
+	"domino/internal/workload"
+)
+
+// TestSoakBoundedSteadyStateMemory drives Domino and STMS through millions
+// of synthetic accesses (>= 10 M combined) via the per-access Session API
+// and asserts the heap stops growing once the metadata tables are warm.
+// This is the residency guarantee the serving layer depends on.
+//
+// Two access patterns per prefetcher:
+//
+//   - "oltp": the realistic OLTP generator — buffer at capacity, streams
+//     churning — the general steady-state story.
+//   - "cyclic": a repeating miss cycle the prefetcher covers almost
+//     perfectly, so prefetched blocks are consumed before the buffer ever
+//     fills. This is the interleaving that leaked before the hot-path
+//     fixes: the buffer fifo retained one entry per consumed prefetch
+//     (~40 B/access, tens of MB over this run) because gone entries were
+//     only drained at capacity, and stream in-flight slices retained
+//     every consumed line until stream eviction.
+//
+// Methodology: replay a warmup so flathash tables and the history table
+// reach steady-state size, snapshot HeapAlloc after a forced GC, then
+// re-snapshot every checkpointN accesses. Every later snapshot must stay
+// within slackBytes of the first — growth proportional to the access count
+// fails, bounded jitter (GC timing, map load factor) passes.
+func TestSoakBoundedSteadyStateMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	const (
+		checkpointN = 1_000_000
+		checkpoints = 2
+		slackBytes  = 8 << 20
+	)
+
+	type pattern struct {
+		name   string
+		warmup int
+		next   func() func() mem.Access
+	}
+	patterns := []pattern{
+		{
+			name:   "oltp",
+			warmup: 2_000_000,
+			next: func() func() mem.Access {
+				gen := workload.New(workload.ByName("OLTP"))
+				return func() mem.Access {
+					a, _ := gen.Next()
+					return a
+				}
+			},
+		},
+		{
+			// A cycle far larger than the L1-D: every access misses, the
+			// trained prefetcher covers nearly all of them, and the
+			// prefetch buffer stays far below capacity.
+			name:   "cyclic",
+			warmup: 1_000_000,
+			next: func() func() mem.Access {
+				const cycle = 40_000
+				pos := 0
+				return func() mem.Access {
+					a := mem.Access{PC: 0x400100, Addr: mem.Line(pos).Addr()}
+					pos++
+					if pos == cycle {
+						pos = 0
+					}
+					return a
+				}
+			},
+		},
+	}
+
+	for _, kind := range []string{"domino", "stms"} {
+		for _, pat := range patterns {
+			t.Run(kind+"/"+pat.name, func(t *testing.T) {
+				cfg := Config{Prefetcher: kind, Scale: 16}.withDefaults()
+				p, err := buildPrefetcher(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ec := prefetch.DefaultEvalConfig()
+				ec.BufferBlocks = cfg.BufferBlocks
+				sess := prefetch.NewSession(p, ec)
+
+				next := pat.next()
+				drive := func(n int) {
+					for i := 0; i < n; i++ {
+						sess.Access(next())
+					}
+				}
+				heap := func() uint64 {
+					runtime.GC()
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					return ms.HeapAlloc
+				}
+
+				drive(pat.warmup)
+				base := heap()
+				for c := 1; c <= checkpoints; c++ {
+					drive(checkpointN)
+					h := heap()
+					t.Logf("%s/%s: checkpoint %d (%d accesses): HeapAlloc %d (baseline %d, delta %+d)",
+						kind, pat.name, c, pat.warmup+c*checkpointN, h, base, int64(h)-int64(base))
+					if h > base+slackBytes {
+						t.Fatalf("%s/%s: heap grew %d bytes over %d accesses after warmup (allowed %d): steady-state memory is not bounded",
+							kind, pat.name, h-base, c*checkpointN, uint64(slackBytes))
+					}
+				}
+				st := sess.Stats()
+				if st.Accesses == 0 || st.Covered == 0 {
+					t.Fatalf("%s/%s: soak did no useful work: %+v", kind, pat.name, st)
+				}
+			})
+		}
+	}
+}

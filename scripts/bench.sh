@@ -29,6 +29,7 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
   ./internal/flathash ./internal/digram ./internal/stms ./internal/isb ./internal/ghb \
+  ./internal/serve \
   | tee "$out"
 
 # The lookup-depth analyses allocate a constant number of table headers per
