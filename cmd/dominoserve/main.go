@@ -15,10 +15,27 @@
 //	kill -TERM $!
 //
 // The summary on stdout reports total accesses, prefetch-buffer hit rate,
-// throughput in accesses/sec, and p50/p99 batch latency. -metrics dumps
-// the telemetry registry (per-shard throughput counters, queue-depth
-// gauges, batch latency timers) as JSON at exit; -report prints a running
+// throughput in accesses/sec, and p50/p99/p999 batch latency estimated
+// from the telemetry registry's log-scale latency histogram. -metrics
+// dumps the registry (per-shard throughput counters, queue-depth gauges,
+// latency histograms, per-tenant-class accuracy counters) as JSON at
+// exit, and -metrics-interval refreshes that file periodically with
+// atomic renames while the server runs; -report prints a running
 // throughput line to stderr at the given interval.
+//
+// Live observability: -admin starts an HTTP admin endpoint with
+// Prometheus /metrics, /varz (JSON with interval rates), /healthz (shard
+// liveness + queue saturation) and /debug/pprof:
+//
+//	dominoserve -accesses 0 -admin 127.0.0.1:8080 &
+//	curl http://127.0.0.1:8080/metrics
+//
+// -trace samples accesses into a JSONL file (tenant, address,
+// triggered/hit, prefetch count, shard queue wait) for post-hoc
+// analysis; -trace-sample picks every Nth access.
+//
+// None of it touches stdout: the summary stays byte-identical whether or
+// not the admin endpoint, tracing or periodic metrics are enabled.
 package main
 
 import (
@@ -27,9 +44,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -45,34 +63,6 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
-}
-
-// latRing keeps the most recent batch latencies per client, bounded so an
-// until-signal run cannot grow without limit. p50/p99 are computed over
-// the union of the rings at exit — the tail of recent behaviour, which is
-// what a long-running service's latency report should reflect.
-type latRing struct {
-	buf  []time.Duration
-	next int
-	full bool
-}
-
-func newLatRing(n int) *latRing { return &latRing{buf: make([]time.Duration, n)} }
-
-func (r *latRing) add(d time.Duration) {
-	r.buf[r.next] = d
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
-	}
-}
-
-func (r *latRing) samples() []time.Duration {
-	if r.full {
-		return r.buf
-	}
-	return r.buf[:r.next]
 }
 
 // run is main, testably: flags from args, summary to stdout, telemetry
@@ -93,6 +83,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tenantsCap   = fs.Int("tenants-per-shard", 64, "resident tenant sessions per shard before LRU eviction")
 		wlName       = fs.String("workload", "OLTP", "synthetic workload driving the clients")
 		metricsPath  = fs.String("metrics", "", "write telemetry registry JSON to this file at exit")
+		metricsEvery = fs.Duration("metrics-interval", 0, "with -metrics: refresh the file at this interval via atomic renames (0 = exit only)")
+		adminAddr    = fs.String("admin", "", "serve the HTTP admin endpoint (/metrics, /varz, /healthz, /debug/pprof) on this address")
+		tracePath    = fs.String("trace", "", "write sampled per-access JSONL trace events to this file")
+		traceSample  = fs.Int("trace-sample", 1024, "with -trace: record every Nth access per shard")
 		report       = fs.Duration("report", 0, "print a running throughput line to stderr at this interval (0 = off)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight batches on shutdown")
 	)
@@ -113,6 +107,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case *accesses < 0:
 		fmt.Fprintf(stderr, "dominoserve: invalid -accesses %d: must be >= 0 (0 = until signal)\n", *accesses)
 		return 2
+	case *metricsEvery < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -metrics-interval %s: must be >= 0\n", *metricsEvery)
+		return 2
+	case *metricsEvery > 0 && *metricsPath == "":
+		fmt.Fprintf(stderr, "dominoserve: -metrics-interval needs -metrics to name the snapshot file\n")
+		return 2
+	case *traceSample < 1:
+		fmt.Fprintf(stderr, "dominoserve: invalid -trace-sample %d: must be >= 1\n", *traceSample)
+		return 2
 	}
 	known := false
 	for _, n := range workload.Names {
@@ -128,7 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	params := workload.ByName(*wlName)
 
 	reg := telemetry.New()
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Shards:             *shards,
 		QueueDepth:         *queue,
 		MaxTenantsPerShard: *tenantsCap,
@@ -136,12 +139,80 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Degree:             *degree,
 		Scale:              *scale,
 		Metrics:            reg,
-	})
+	}
+
+	var traceFile *os.File
+	var traceSink *telemetry.JSONL
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "dominoserve: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		traceSink = telemetry.NewJSONL(f)
+		cfg.Trace = traceSink
+		cfg.TraceEvery = *traceSample
+	}
+
+	srv, err := serve.New(cfg)
 	if err != nil {
+		if traceFile != nil {
+			traceFile.Close()
+		}
 		fmt.Fprintf(stderr, "dominoserve: %v\n", err)
 		return 2
 	}
 	srv.Start()
+
+	// The client-side round-trip latency distribution: submit-to-reply,
+	// observed lock-free by every client goroutine. The summary's
+	// p50/p99/p999 are estimated from this histogram — the registry is
+	// the source of truth, not driver-side sample sorting.
+	batchLat := reg.Histogram("client.batch_ns")
+
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			fmt.Fprintf(stderr, "dominoserve: admin: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "dominoserve: admin listening on http://%s\n", ln.Addr())
+		adminSrv := &http.Server{Handler: serve.NewAdmin(srv, reg)}
+		go adminSrv.Serve(ln)
+		defer adminSrv.Close()
+	}
+
+	// Background reporters write stderr; run must not return while any is
+	// still alive, or the caller (a test, say) races their final writes.
+	// Defers run LIFO: bg.Wait() is registered before the close()s below,
+	// so each done channel closes first and the goroutines drain.
+	var bg sync.WaitGroup
+	defer bg.Wait()
+
+	if *metricsEvery > 0 {
+		snapDone := make(chan struct{})
+		defer close(snapDone)
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-tick.C:
+					if err := reg.WriteFile(*metricsPath); err != nil {
+						fmt.Fprintf(stderr, "dominoserve: metrics snapshot: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	perClient := int64(0)
 	if *accesses > 0 {
@@ -151,12 +222,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		submitted atomic.Int64
 		wg        sync.WaitGroup
-		rings     = make([]*latRing, *clients)
 		clientErr = make(chan error, *clients)
 	)
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
-		rings[c] = newLatRing(16384)
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
@@ -189,7 +258,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					return
 				}
 				<-reply
-				rings[c].add(time.Since(t0))
+				batchLat.Observe(time.Since(t0))
 				sent += n
 				submitted.Add(n)
 			}
@@ -199,7 +268,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *report > 0 {
 		reportDone := make(chan struct{})
 		defer close(reportDone)
+		bg.Add(1)
 		go func() {
+			defer bg.Done()
 			tick := time.NewTicker(*report)
 			defer tick.Stop()
 			var last int64
@@ -243,39 +314,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if st.Hits+st.Misses > 0 {
 		hitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
 	}
-	var all []time.Duration
-	for _, r := range rings {
-		all = append(all, r.samples()...)
-	}
-	var p50, p99 time.Duration
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		p50 = all[len(all)/2]
-		p99 = all[len(all)*99/100]
-	}
+	lat := batchLat.Stats()
+	p50 := time.Duration(lat.Quantile(0.50))
+	p99 := time.Duration(lat.Quantile(0.99))
+	p999 := time.Duration(lat.Quantile(0.999))
 
 	fmt.Fprintf(stdout, "prefetcher=%s workload=%s shards=%d clients=%d batch=%d\n",
 		*prefetcher, params.Name, *shards, *clients, *batch)
 	fmt.Fprintf(stdout, "accesses=%d hits=%d misses=%d prefetches=%d hit_rate=%.4f\n",
 		st.Accesses, st.Hits, st.Misses, prefetches, hitRate)
-	fmt.Fprintf(stdout, "elapsed=%s throughput=%.0f accesses/sec batch_p50=%s batch_p99=%s\n",
-		elapsed.Round(time.Millisecond), float64(st.Accesses)/elapsed.Seconds(), p50, p99)
+	fmt.Fprintf(stdout, "elapsed=%s throughput=%.0f accesses/sec batch_p50=%s batch_p99=%s batch_p999=%s\n",
+		elapsed.Round(time.Millisecond), float64(st.Accesses)/elapsed.Seconds(), p50, p99, p999)
 
 	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
-		if err != nil {
-			fmt.Fprintf(stderr, "dominoserve: %v\n", err)
-			return 1
-		}
-		if err := reg.WriteJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
 			fmt.Fprintf(stderr, "dominoserve: write metrics: %v\n", err)
 			return 1
 		}
+	}
+	if traceFile != nil {
+		err := traceSink.Err()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "dominoserve: write trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "dominoserve: wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
 	}
 	return code
 }

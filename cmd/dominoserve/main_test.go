@@ -2,9 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -73,5 +78,216 @@ func TestSignalDrain(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "accesses (+") {
 		t.Fatalf("no -report progress line on stderr: %s", errb.String())
+	}
+}
+
+func TestObservabilityUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-metrics-interval", "-1s"},
+		{"-metrics-interval", "1s"}, // needs -metrics
+		{"-trace-sample", "0"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestStdoutDeterminismWithObservability is the determinism guard: a
+// bounded run with the admin endpoint, access tracing and periodic
+// metrics snapshots all enabled must print the same primary output as a
+// plain run. The third summary line carries wall-clock timings, so the
+// guard covers the first two lines byte for byte.
+func TestStdoutDeterminismWithObservability(t *testing.T) {
+	base := []string{"-accesses", "20000", "-clients", "4", "-shards", "2", "-batch", "100", "-scale", "64"}
+
+	var plain, plainErr strings.Builder
+	if code := run(context.Background(), base, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run = %d, stderr: %s", code, plainErr.String())
+	}
+
+	dir := t.TempDir()
+	loaded := append(append([]string{}, base...),
+		"-admin", "127.0.0.1:0",
+		"-trace", filepath.Join(dir, "trace.jsonl"),
+		"-trace-sample", "7",
+		"-metrics", filepath.Join(dir, "metrics.json"),
+		"-metrics-interval", "10ms",
+	)
+	var instr, instrErr strings.Builder
+	if code := run(context.Background(), loaded, &instr, &instrErr); code != 0 {
+		t.Fatalf("instrumented run = %d, stderr: %s", code, instrErr.String())
+	}
+
+	plainLines := strings.Split(plain.String(), "\n")
+	instrLines := strings.Split(instr.String(), "\n")
+	if len(plainLines) != len(instrLines) {
+		t.Fatalf("line count differs: %d vs %d\nplain:\n%s\ninstrumented:\n%s",
+			len(plainLines), len(instrLines), plain.String(), instr.String())
+	}
+	for i := 0; i < 2; i++ {
+		if plainLines[i] != instrLines[i] {
+			t.Fatalf("stdout line %d differs with observability enabled:\n%q\n%q", i+1, plainLines[i], instrLines[i])
+		}
+	}
+	if !strings.Contains(instrErr.String(), "trace events to") {
+		t.Fatalf("no trace summary on stderr: %s", instrErr.String())
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "trace.jsonl")); err != nil || len(data) == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+}
+
+// lockedBuilder lets the test read stderr while run's background
+// goroutines may still be writing it.
+type lockedBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuilder) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuilder) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestAdminEndpointLive is the acceptance path: an until-signal run with
+// -admin on an ephemeral port, scraped over real HTTP while the server
+// is under load. /metrics must expose per-shard gauges, batch latency
+// histogram buckets and per-tenant-class counters; /healthz must report
+// every shard alive.
+func TestAdminEndpointLive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out strings.Builder
+	errb := &lockedBuilder{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-accesses", "0", "-clients", "2", "-shards", "2", "-scale", "64",
+			"-admin", "127.0.0.1:0"}, &out, errb)
+	}()
+
+	// The admin listener line is printed before clients start; poll for it.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("admin address never appeared on stderr: %s", errb.String())
+		}
+		if _, rest, ok := strings.Cut(errb.String(), "admin listening on http://"); ok {
+			addr = strings.TrimSpace(strings.SplitN(rest, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	// Let some batches through so histograms and tenant counters populate.
+	time.Sleep(150 * time.Millisecond)
+	metrics := get("/metrics")
+	for _, re := range []string{
+		`(?m)^serve_queue_depth\{shard="[01]"\} \d+$`,
+		`(?m)^serve_batch_ns_bucket\{shard="[01]",le="\+Inf"\} \d+$`,
+		`(?m)^serve_tenant_triggered\{class="tenant"\} \d+$`,
+		`(?m)^client_batch_ns_bucket\{le="\+Inf"\} \d+$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(metrics) {
+			t.Errorf("live /metrics missing %s:\n%.2000s", re, metrics)
+		}
+	}
+	healthz := get("/healthz")
+	if !strings.Contains(healthz, `"ok": true`) {
+		t.Fatalf("/healthz not ok under load: %s", healthz)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run = %d after cancel, stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}
+
+// TestPeriodicMetricsSnapshots checks -metrics-interval: the snapshot
+// file must appear and parse while the server is still running, not just
+// at exit.
+func TestPeriodicMetricsSnapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out strings.Builder
+	errb := &lockedBuilder{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-accesses", "0", "-clients", "2", "-shards", "2", "-scale", "64",
+			"-metrics", path, "-metrics-interval", "10ms"}, &out, errb)
+	}()
+
+	var midRun []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for len(midRun) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no metrics snapshot appeared mid-run; stderr: %s", errb.String())
+		}
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			midRun = data
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	var doc struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(midRun, &doc); err != nil {
+		t.Fatalf("mid-run snapshot is not valid JSON (atomic rename broken?): %v\n%.200s", err, midRun)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("mid-run snapshot has no metrics")
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run = %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+	// The exit-time dump still lands on the same path.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "serve.shard0.accesses") {
+		t.Fatalf("final snapshot missing shard counters: %.200s", data)
 	}
 }

@@ -55,7 +55,6 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -257,7 +256,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *metricsF != "" {
-		if err := writeMetrics(*metricsF, o.Metrics); err != nil {
+		if err := o.Metrics.WriteFile(*metricsF); err != nil {
 			fmt.Fprintln(stderr, "dominosim:", err)
 			code = 1
 		}
@@ -342,25 +341,6 @@ func dispatch(ctx context.Context, o domino.Options, stdout io.Writer,
 		return errUsage
 	}
 	return nil
-}
-
-// writeMetrics dumps the registry atomically: written to a temp file in
-// the target directory and renamed into place, so a crash mid-dump never
-// leaves a truncated JSON document where a previous complete one was.
-func writeMetrics(path string, reg *telemetry.Registry) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(f.Name()) // no-op after a successful rename
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(f.Name(), path)
 }
 
 func pick(workload string) []string {

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"domino/internal/telemetry"
+)
+
+// Admin is the serving layer's live observability endpoint: an
+// http.Handler exposing the metrics registry and the server's health,
+// meant to be mounted on a loopback or otherwise private listener by the
+// operator (cmd/dominoserve's -admin flag).
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/varz         JSON snapshot plus interval deltas: per-counter rates
+//	              since the previous /varz scrape
+//	/healthz      200 with a JSON body while every shard is alive and the
+//	              server accepts work; 503 otherwise. The body reports
+//	              per-shard queue occupancy and saturation.
+//	/debug/pprof  the standard runtime profiles
+//
+// Admin never touches the serving hot path: every handler reads atomic
+// snapshots, so scraping a loaded server steals no throughput beyond the
+// snapshot cost itself.
+type Admin struct {
+	srv *Server
+	reg *telemetry.Registry
+	mux *http.ServeMux
+
+	// varz interval-delta state: the previous scrape's counter values
+	// and instant, for rate computation.
+	mu      sync.Mutex
+	prev    map[string]int64
+	prevAt  time.Time
+	started time.Time
+}
+
+// NewAdmin builds the admin handler for srv and its registry (reg may be
+// nil; /metrics and /varz then render empty documents).
+func NewAdmin(srv *Server, reg *telemetry.Registry) *Admin {
+	a := &Admin{srv: srv, reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/varz", a.handleVarz)
+	a.mux.HandleFunc("/healthz", a.handleHealthz)
+	a.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	a.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	a.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	a.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *Admin) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.reg.WriteProm(w)
+}
+
+// varzDoc is the /varz payload.
+type varzDoc struct {
+	UptimeS float64 `json:"uptime_s"`
+	// IntervalS is the time since the previous /varz scrape (0 on the
+	// first), the denominator of Rates.
+	IntervalS float64            `json:"interval_s"`
+	Metrics   []telemetry.Metric `json:"metrics"`
+	// Rates maps each counter to its per-second increase since the
+	// previous scrape — live rates, not lifetime totals. Absent on the
+	// first scrape.
+	Rates map[string]float64 `json:"rates,omitempty"`
+}
+
+func (a *Admin) handleVarz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	snap := a.reg.Snapshot()
+	if snap == nil {
+		snap = []telemetry.Metric{}
+	}
+	cur := make(map[string]int64)
+	for _, m := range snap {
+		if m.Kind == "counter" && m.Value != nil {
+			cur[m.Name] = *m.Value
+		}
+	}
+
+	a.mu.Lock()
+	doc := varzDoc{UptimeS: now.Sub(a.started).Seconds(), Metrics: snap}
+	if a.prev != nil {
+		dt := now.Sub(a.prevAt).Seconds()
+		doc.IntervalS = dt
+		if dt > 0 {
+			doc.Rates = make(map[string]float64, len(cur))
+			for name, v := range cur {
+				doc.Rates[name] = float64(v-a.prev[name]) / dt
+			}
+		}
+	}
+	a.prev, a.prevAt = cur, now
+	a.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := a.srv.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if !h.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"domino/internal/telemetry"
+)
+
+// loadServer builds a started, instrumented server with some traffic
+// already processed, for the admin handler tests.
+func loadServer(t *testing.T) (*Server, *telemetry.Registry) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Metrics = telemetry.New()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	for _, tn := range []string{"gold-1", "gold-2", "bronze-1"} {
+		if err := s.Submit(context.Background(), Batch{Tenant: tn, Accesses: collect(t, 2000, 1), Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		<-reply
+	}
+	return s, cfg.Metrics
+}
+
+func TestAdminHealthz(t *testing.T) {
+	s, reg := loadServer(t)
+	a := NewAdmin(s, reg)
+
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy server /healthz = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Closed || len(h.Shards) != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+	for _, sh := range h.Shards {
+		if !sh.Alive || sh.QueueCap != 8 {
+			t.Fatalf("shard health = %+v", sh)
+		}
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("drained server /healthz = %d, want 503", rec.Code)
+	}
+}
+
+func TestAdminMetricsExposition(t *testing.T) {
+	s, reg := loadServer(t)
+	defer s.Drain(context.Background())
+	a := NewAdmin(s, reg)
+
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, re := range []string{
+		`(?m)^serve_queue_depth\{shard="[01]"\} \d+$`,
+		`(?m)^serve_batch_ns_bucket\{shard="[01]",le="[\d]+"\} \d+$`,
+		`(?m)^serve_batch_ns_bucket\{shard="[01]",le="\+Inf"\} \d+$`,
+		`(?m)^serve_tenant_used\{class="gold"\} \d+$`,
+		`(?m)^serve_tenant_triggered\{class="bronze"\} \d+$`,
+		`(?m)^serve_accesses\{shard="[01]"\} \d+$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Fatalf("exposition missing %s:\n%s", re, out)
+		}
+	}
+	// Exposition-format sanity: every non-comment line is `name[{labels}] value`.
+	lineRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?\d+$`)
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRe.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestAdminVarzRates(t *testing.T) {
+	s, reg := loadServer(t)
+	a := NewAdmin(s, reg)
+
+	get := func() map[string]any {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", "/varz", nil))
+		if rec.Code != 200 {
+			t.Fatalf("/varz = %d", rec.Code)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("invalid /varz JSON: %v", err)
+		}
+		return doc
+	}
+
+	first := get()
+	if _, ok := first["rates"]; ok {
+		t.Fatal("first scrape has rates (no previous interval)")
+	}
+	if first["metrics"] == nil {
+		t.Fatal("no metrics in /varz")
+	}
+
+	// More traffic between scrapes, so at least one counter rate is > 0.
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "gold-1", Accesses: collect(t, 2000, 2), Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	<-reply
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	second := get()
+	rates, ok := second["rates"].(map[string]any)
+	if !ok {
+		t.Fatalf("second scrape has no rates: %v", second)
+	}
+	var positive bool
+	for name, v := range rates {
+		if strings.HasSuffix(name, ".accesses") && v.(float64) > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		t.Fatalf("no positive access rate between scrapes: %v", rates)
+	}
+	if second["interval_s"].(float64) <= 0 {
+		t.Fatalf("interval_s = %v", second["interval_s"])
+	}
+}
+
+func TestAdminPprofIndex(t *testing.T) {
+	s, reg := loadServer(t)
+	defer s.Drain(context.Background())
+	a := NewAdmin(s, reg)
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d: %.120s", rec.Code, rec.Body.String())
+	}
+}

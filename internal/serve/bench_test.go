@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"domino/internal/mem"
+	"domino/internal/telemetry"
 )
 
 // BenchmarkServeThroughput measures the serving hot path end to end:
@@ -18,11 +19,23 @@ import (
 // latencies are attached as custom metrics so regressions in tail latency
 // are visible even when mean throughput holds.
 func BenchmarkServeThroughput(b *testing.B) {
+	benchServe(b, Config{Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64})
+}
+
+// BenchmarkServeThroughputTelemetry is the same workload with the full
+// observability stack enabled (registry-backed per-shard counters,
+// gauges, histograms and per-tenant-class accounting). The benchdiff gate
+// holds both, so the cost of instrumentation relative to the plain path
+// stays visible and bounded.
+func BenchmarkServeThroughputTelemetry(b *testing.B) {
+	benchServe(b, Config{Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64, Metrics: telemetry.New()})
+}
+
+func benchServe(b *testing.B, cfg Config) {
 	const (
 		clients   = 4
 		batchSize = 256
 	)
-	cfg := Config{Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64}
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)

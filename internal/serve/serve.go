@@ -24,7 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"domino/internal/core"
 	"domino/internal/digram"
@@ -66,12 +69,46 @@ type Config struct {
 	// 32, the paper's size).
 	BufferBlocks int
 	// Metrics, if non-nil, receives per-shard throughput counters, queue
-	// depth gauges and batch latency timers under "serve.*". A nil
-	// registry costs nothing on the hot path.
+	// depth and high-water gauges, batch latency / queue wait / batch
+	// size histograms, and per-tenant-class accuracy and coverage
+	// counters, all under "serve.*". A nil registry costs nothing on the
+	// hot path: every instrumented pointer is nil and every metric call
+	// is a single branch.
 	Metrics *telemetry.Registry
+	// TenantClass maps a tenant name onto its accounting class for the
+	// per-class counters ("serve.tenant.<class>.*"). Nil uses
+	// DefaultTenantClass. Classes should be low-cardinality: one counter
+	// set is registered per distinct class.
+	TenantClass func(tenant string) string
+	// Trace, if non-nil, receives sampled per-access TraceEvent records
+	// as JSON lines: tenant, class, shard, address, triggered/hit,
+	// prefetch count and queue wait. A nil sink costs nothing.
+	Trace *telemetry.JSONL
+	// TraceEvery samples every Nth access per shard into Trace (default
+	// 1024 when Trace is set; 1 records everything).
+	TraceEvery int
+}
+
+// DefaultTenantClass is the default Config.TenantClass: the tenant name
+// up to the last '-' (so "gold-17" and "gold-3" share class "gold"), or
+// the whole name when it has no '-'.
+func DefaultTenantClass(tenant string) string {
+	if i := strings.LastIndexByte(tenant, '-'); i > 0 {
+		return tenant[:i]
+	}
+	if tenant == "" {
+		return "unknown"
+	}
+	return tenant
 }
 
 func (c Config) withDefaults() Config {
+	if c.TenantClass == nil {
+		c.TenantClass = DefaultTenantClass
+	}
+	if c.Trace != nil && c.TraceEvery <= 0 {
+		c.TraceEvery = 1024
+	}
 	if c.Shards <= 0 {
 		c.Shards = 4
 	}
@@ -131,6 +168,30 @@ type Batch struct {
 	// (or the channel has room), so give Reply capacity if the client
 	// does anything else between submit and receive.
 	Reply chan<- Result
+
+	// enqueuedAt is stamped by Submit/TrySubmit when the server is
+	// instrumented, so the shard can report queue wait. Zero when
+	// telemetry and tracing are both disabled — the uninstrumented hot
+	// path never calls time.Now.
+	enqueuedAt time.Time
+}
+
+// TraceEvent is one sampled access record emitted to Config.Trace as a
+// JSON line, for post-hoc accuracy/latency analysis of a live service.
+type TraceEvent struct {
+	Tenant string `json:"tenant"`
+	Class  string `json:"class"`
+	Shard  int    `json:"shard"`
+	Addr   uint64 `json:"addr"`
+	PC     uint64 `json:"pc,omitempty"`
+	// Triggered reports the access missed the L1-D and reached the
+	// prefetcher; Hit that the prefetch buffer covered it.
+	Triggered bool `json:"triggered"`
+	Hit       bool `json:"hit"`
+	// Prefetched is the number of lines issued in response.
+	Prefetched int `json:"prefetched"`
+	// QueueNS is how long the access's batch waited in the shard queue.
+	QueueNS int64 `json:"queue_ns"`
 }
 
 // Result is the service's answer for one batch.
@@ -188,27 +249,78 @@ type shard struct {
 	in  chan Batch
 	cfg Config
 
+	// instr is set when any observability sink (registry or trace) is
+	// configured; it gates the per-batch time.Now stamp in Submit.
+	instr bool
+	// alive is true while the shard goroutine is running; Health reads
+	// it for the liveness report.
+	alive atomic.Bool
+	// hwm is the queue-depth high-water mark (batches, including the one
+	// being processed), written by the shard goroutine, read by Health.
+	hwm atomic.Int64
+
 	// telemetry (nil-safe when no registry is configured)
 	queueDepth *telemetry.Gauge
+	queueHWM   *telemetry.Gauge
 	tenantsG   *telemetry.Gauge
 	accessesC  *telemetry.Counter
 	batchesC   *telemetry.Counter
 	hitsC      *telemetry.Counter
 	prefetchC  *telemetry.Counter
+	evictedC   *telemetry.Counter
 	batchTimer *telemetry.Timer
+	batchHist  *telemetry.Histogram // batch processing latency, ns
+	queueWait  *telemetry.Histogram // submit-to-dequeue wait, ns
+	batchSize  *telemetry.Histogram // accesses per batch
 
 	// goroutine-owned state
 	tenants map[string]*tenantSession
 	clock   uint64
+	classes map[string]*classCounters // per-class counter cache
+	traceN  uint64                    // accesses seen, for every-Nth sampling
 
 	statMu sync.Mutex
 	stats  ShardStats
 }
 
-// tenantSession is one tenant's pipeline plus its recency stamp.
+// classCounters is one tenant class's accuracy/coverage counter set.
+// The counters come from the shared registry (same names resolve to the
+// same atomics across shards); each shard caches the lookup so the
+// registry lock is off the batch path.
+type classCounters struct {
+	triggered *telemetry.Counter // L1 misses delivered to the prefetcher
+	covered   *telemetry.Counter // misses covered by the prefetch buffer
+	issued    *telemetry.Counter // prefetches inserted into the buffer
+	used      *telemetry.Counter // prefetches later consumed
+}
+
+// classFor returns the shard's cached counter set for class, registering
+// the counters on first use. Nil-safe: with no registry the counters are
+// nil and every Add is a no-op.
+func (sh *shard) classFor(class string) *classCounters {
+	if cc, ok := sh.classes[class]; ok {
+		return cc
+	}
+	reg := sh.cfg.Metrics
+	p := "serve.tenant." + class + "."
+	cc := &classCounters{
+		triggered: reg.Counter(p + "triggered"),
+		covered:   reg.Counter(p + "covered"),
+		issued:    reg.Counter(p + "issued"),
+		used:      reg.Counter(p + "used"),
+	}
+	sh.classes[class] = cc
+	return cc
+}
+
+// tenantSession is one tenant's pipeline plus its recency stamp and the
+// bookkeeping for per-class counter deltas.
 type tenantSession struct {
-	sess *prefetch.Session
-	seen uint64
+	sess  *prefetch.Session
+	seen  uint64
+	class string
+	cc    *classCounters
+	last  prefetch.SessionStats // stats at the end of the previous batch
 }
 
 // New validates cfg (building a throwaway prefetcher to fail fast on an
@@ -224,18 +336,25 @@ func New(cfg Config) (*Server, error) {
 			id:      i,
 			in:      make(chan Batch, cfg.QueueDepth),
 			cfg:     cfg,
+			instr:   cfg.Metrics != nil || cfg.Trace != nil,
 			tenants: make(map[string]*tenantSession, cfg.MaxTenantsPerShard),
+			classes: make(map[string]*classCounters),
 			stats:   ShardStats{Shard: i},
 		}
 		if reg := cfg.Metrics; reg != nil {
 			p := fmt.Sprintf("serve.shard%d.", i)
 			sh.queueDepth = reg.Gauge(p + "queue_depth")
+			sh.queueHWM = reg.Gauge(p + "queue_hwm")
 			sh.tenantsG = reg.Gauge(p + "tenants")
 			sh.accessesC = reg.Counter(p + "accesses")
 			sh.batchesC = reg.Counter(p + "batches")
 			sh.hitsC = reg.Counter(p + "hits")
 			sh.prefetchC = reg.Counter(p + "prefetches")
+			sh.evictedC = reg.Counter(p + "evicted")
 			sh.batchTimer = reg.Timer(p + "batch")
+			sh.batchHist = reg.Histogram(p + "batch_ns")
+			sh.queueWait = reg.Histogram(p + "queue_wait_ns")
+			sh.batchSize = reg.Histogram(p + "batch_size")
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -249,8 +368,10 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) Start() {
 	for _, sh := range s.shards {
 		s.wg.Add(1)
+		sh.alive.Store(true)
 		go func(sh *shard) {
 			defer s.wg.Done()
+			defer sh.alive.Store(false)
 			sh.run()
 		}(sh)
 	}
@@ -273,6 +394,9 @@ func (s *Server) Submit(ctx context.Context, b Batch) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if sh.instr {
+		b.enqueuedAt = time.Now()
+	}
 	select {
 	case sh.in <- b:
 		return nil
@@ -290,6 +414,9 @@ func (s *Server) TrySubmit(b Batch) error {
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if sh.instr {
+		b.enqueuedAt = time.Now()
 	}
 	select {
 	case sh.in <- b:
@@ -344,10 +471,30 @@ func (s *Server) Stats() Stats {
 // closes, applying each batch to its tenant's session in order.
 func (sh *shard) run() {
 	for b := range sh.in {
-		sh.queueDepth.Set(int64(len(sh.in)))
-		stop := sh.batchTimer.Start()
-		res := sh.process(b)
-		stop()
+		// Depth counts this batch plus everything still queued behind it.
+		depth := int64(len(sh.in)) + 1
+		sh.queueDepth.Set(depth - 1)
+		if depth > sh.hwm.Load() {
+			sh.hwm.Store(depth)
+			sh.queueHWM.Set(depth)
+		}
+		var queueNS int64
+		if !b.enqueuedAt.IsZero() {
+			queueNS = int64(time.Since(b.enqueuedAt))
+			sh.queueWait.ObserveValue(queueNS)
+		}
+		sh.batchSize.ObserveValue(int64(len(b.Accesses)))
+
+		var start time.Time
+		if sh.instr {
+			start = time.Now()
+		}
+		res := sh.process(b, queueNS)
+		if sh.instr {
+			d := time.Since(start)
+			sh.batchTimer.Observe(d)
+			sh.batchHist.Observe(d)
+		}
 
 		sh.batchesC.Inc()
 		sh.accessesC.Add(int64(res.Accesses))
@@ -371,9 +518,12 @@ func (sh *shard) run() {
 }
 
 // process trains and looks up one batch against its tenant's session.
-func (sh *shard) process(b Batch) Result {
+// queueNS is the batch's measured shard-queue wait, attached to sampled
+// trace events.
+func (sh *shard) process(b Batch, queueNS int64) Result {
 	t := sh.session(b.Tenant)
 	res := Result{Tenant: b.Tenant, Accesses: len(b.Accesses)}
+	trace, every := sh.cfg.Trace, uint64(sh.cfg.TraceEvery)
 	for _, a := range b.Accesses {
 		out := t.sess.Access(a)
 		if out.Triggered {
@@ -386,6 +536,33 @@ func (sh *shard) process(b Batch) Result {
 		if len(out.Prefetched) > 0 {
 			res.Prefetched = append(res.Prefetched, out.Prefetched...)
 		}
+		if trace != nil {
+			if sh.traceN%every == 0 {
+				trace.Emit(TraceEvent{
+					Tenant:     b.Tenant,
+					Class:      t.class,
+					Shard:      sh.id,
+					Addr:       uint64(a.Addr),
+					PC:         uint64(a.PC),
+					Triggered:  out.Triggered,
+					Hit:        out.Hit,
+					Prefetched: len(out.Prefetched),
+					QueueNS:    queueNS,
+				})
+			}
+			sh.traceN++
+		}
+	}
+	if t.cc != nil {
+		// Per-class accuracy/coverage feed: the deltas of the session's
+		// live counters across this batch. Misses here are L1-D misses —
+		// exactly the accesses delivered to the prefetcher as triggers.
+		snap := t.sess.Stats()
+		t.cc.triggered.Add(int64(snap.Misses - t.last.Misses))
+		t.cc.covered.Add(int64(snap.Covered - t.last.Covered))
+		t.cc.issued.Add(int64(snap.Issued - t.last.Issued))
+		t.cc.used.Add(int64(snap.Used - t.last.Used))
+		t.last = snap
 	}
 	return res
 }
@@ -408,6 +585,12 @@ func (sh *shard) session(tenant string) *tenantSession {
 		cfg := prefetch.DefaultEvalConfig()
 		cfg.BufferBlocks = sh.cfg.BufferBlocks
 		t = &tenantSession{sess: prefetch.NewSession(p, cfg)}
+		if sh.cfg.Metrics != nil {
+			t.class = sh.cfg.TenantClass(tenant)
+			t.cc = sh.classFor(t.class)
+		} else if sh.cfg.Trace != nil {
+			t.class = sh.cfg.TenantClass(tenant)
+		}
 		sh.tenants[tenant] = t
 		sh.tenantsG.Set(int64(len(sh.tenants)))
 	}
@@ -428,8 +611,64 @@ func (sh *shard) evictColdest() {
 	}
 	if !first {
 		delete(sh.tenants, victim)
+		sh.evictedC.Inc()
 		sh.statMu.Lock()
 		sh.stats.Evicted++
 		sh.statMu.Unlock()
 	}
+}
+
+// ShardHealth is one shard's liveness and queue occupancy.
+type ShardHealth struct {
+	Shard int  `json:"shard"`
+	Alive bool `json:"alive"`
+	// QueueLen and QueueCap describe the bounded input queue right now;
+	// Saturated flags a full queue (the backpressure condition).
+	QueueLen  int  `json:"queue_len"`
+	QueueCap  int  `json:"queue_cap"`
+	Saturated bool `json:"saturated"`
+	// QueueHWM is the lifetime high-water mark of queued batches,
+	// including the one being processed.
+	QueueHWM int `json:"queue_hwm"`
+	Tenants  int `json:"tenants"`
+}
+
+// Health is the server's liveness report, served by the admin endpoint's
+// /healthz.
+type Health struct {
+	// OK is true while the server accepts work: not closed and every
+	// shard goroutine alive.
+	OK     bool          `json:"ok"`
+	Closed bool          `json:"closed"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+// Health snapshots shard liveness and queue occupancy. It is safe to
+// call at any time, including before Start and after Drain.
+func (s *Server) Health() Health {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	h := Health{OK: !closed, Closed: closed}
+	for _, sh := range s.shards {
+		alive := sh.alive.Load()
+		sh.statMu.Lock()
+		tenants := sh.stats.Tenants
+		sh.statMu.Unlock()
+		qlen := len(sh.in)
+		shh := ShardHealth{
+			Shard:     sh.id,
+			Alive:     alive,
+			QueueLen:  qlen,
+			QueueCap:  cap(sh.in),
+			Saturated: qlen == cap(sh.in),
+			QueueHWM:  int(sh.hwm.Load()),
+			Tenants:   tenants,
+		}
+		if !alive {
+			h.OK = false
+		}
+		h.Shards = append(h.Shards, shh)
+	}
+	return h
 }

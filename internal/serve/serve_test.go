@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -335,5 +337,204 @@ func TestDrainUnderLoad(t *testing.T) {
 	}
 	if got := s.Stats().Accesses; got != want {
 		t.Fatalf("processed %d accesses, accepted %d: drain dropped work", got, want)
+	}
+}
+
+// TestTraceSinkRecordsSampledAccesses drives a server with an every-Nth
+// trace sink and checks the JSONL stream: the sampled cadence, and per
+// event a consistent tenant/class/shard and a non-negative queue wait.
+func TestTraceSinkRecordsSampledAccesses(t *testing.T) {
+	var sb strings.Builder
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.Trace = telemetry.NewJSONL(&sb)
+	cfg.TraceEvery = 10
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	accesses := collect(t, 1000, 1)
+	for i := 0; i < len(accesses); i += 100 {
+		if err := s.Submit(context.Background(), Batch{Tenant: "gold-7", Accesses: accesses[i : i+100], Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		<-reply
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Trace.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if want := len(accesses) / cfg.TraceEvery; len(lines) != want {
+		t.Fatalf("trace events = %d, want %d (every %dth of %d)", len(lines), want, cfg.TraceEvery, len(accesses))
+	}
+	for _, l := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", l, err)
+		}
+		if ev.Tenant != "gold-7" || ev.Class != "gold" || ev.Shard != 0 {
+			t.Fatalf("trace event = %+v", ev)
+		}
+		if ev.QueueNS < 0 {
+			t.Fatalf("negative queue wait: %+v", ev)
+		}
+		if ev.Hit && !ev.Triggered {
+			t.Fatalf("hit without trigger: %+v", ev)
+		}
+	}
+}
+
+// TestClassCountersMatchResults pins the per-tenant-class accounting
+// against the batch results: triggered = hits+misses, covered = hits,
+// and issued = the number of prefetched lines, summed per class.
+func TestClassCountersMatchResults(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = telemetry.New()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	want := map[string]*Result{"gold": {}, "bronze": {}}
+	for i, tn := range []string{"gold-1", "bronze-1", "gold-2", "gold-1", "bronze-1"} {
+		if err := s.Submit(context.Background(), Batch{Tenant: tn, Accesses: collect(t, 1500, int64(i)), Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		r := <-reply
+		agg := want[DefaultTenantClass(tn)]
+		agg.Hits += r.Hits
+		agg.Misses += r.Misses
+		agg.Prefetched = append(agg.Prefetched, r.Prefetched...)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	counters := make(map[string]int64)
+	for _, m := range cfg.Metrics.Snapshot() {
+		if m.Kind == "counter" && m.Value != nil {
+			counters[m.Name] = *m.Value
+		}
+	}
+	for class, agg := range want {
+		p := "serve.tenant." + class + "."
+		if got := counters[p+"triggered"]; got != int64(agg.Hits+agg.Misses) {
+			t.Errorf("%striggered = %d, want %d", p, got, agg.Hits+agg.Misses)
+		}
+		if got := counters[p+"covered"]; got != int64(agg.Hits) {
+			t.Errorf("%scovered = %d, want %d", p, got, agg.Hits)
+		}
+		if got := counters[p+"issued"]; got != int64(len(agg.Prefetched)) {
+			t.Errorf("%sissued = %d, want %d", p, got, len(agg.Prefetched))
+		}
+		if used := counters[p+"used"]; used < 0 || used > counters[p+"issued"] {
+			t.Errorf("%sused = %d outside [0, issued=%d]", p, used, counters[p+"issued"])
+		}
+	}
+}
+
+func TestDefaultTenantClass(t *testing.T) {
+	cases := map[string]string{
+		"gold-17":  "gold",
+		"gold-1-2": "gold-1",
+		"solo":     "solo",
+		"":         "unknown",
+		"-x":       "-x",
+	}
+	for in, want := range cases {
+		if got := DefaultTenantClass(in); got != want {
+			t.Errorf("DefaultTenantClass(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHealthLifecycle walks the health report through the server's
+// lifecycle: not OK before Start (shards not alive), OK under load, not
+// OK (closed) after Drain.
+func TestHealthLifecycle(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Health(); h.OK {
+		t.Fatalf("unstarted server reports OK: %+v", h)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t", Accesses: collect(t, 500, 1), Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	<-reply
+	h := s.Health()
+	if !h.OK || h.Closed {
+		t.Fatalf("running server health = %+v", h)
+	}
+	var hwm int
+	for _, sh := range h.Shards {
+		if !sh.Alive {
+			t.Fatalf("shard %d not alive: %+v", sh.Shard, sh)
+		}
+		if sh.QueueCap != cfg.QueueDepth {
+			t.Fatalf("queue cap = %d, want %d", sh.QueueCap, cfg.QueueDepth)
+		}
+		hwm += sh.QueueHWM
+	}
+	if hwm < 1 {
+		t.Fatalf("no shard recorded a queue high-water mark: %+v", h.Shards)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h = s.Health()
+	if h.OK || !h.Closed {
+		t.Fatalf("drained server health = %+v", h)
+	}
+	for _, sh := range h.Shards {
+		if sh.Alive {
+			t.Fatalf("shard %d alive after drain", sh.Shard)
+		}
+	}
+}
+
+// TestBatchHistogramQuantiles checks that the per-shard latency
+// histograms populate and that a merged snapshot yields sane quantiles:
+// p50 <= p99 and every estimate within the observed value range.
+func TestBatchHistogramQuantiles(t *testing.T) {
+	cfg := testConfig()
+	cfg.Metrics = telemetry.New()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	reply := make(chan Result, 1)
+	accesses := collect(t, 20_000, 1)
+	for i := 0; i < len(accesses); i += 500 {
+		if err := s.Submit(context.Background(), Batch{Tenant: fmt.Sprintf("t-%d", i%7), Accesses: accesses[i : i+500], Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		<-reply
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var merged telemetry.HistogramStats
+	for _, m := range cfg.Metrics.Snapshot() {
+		if m.Kind == "histogram" && strings.HasSuffix(m.Name, ".batch_ns") {
+			merged = merged.Merge(*m.Histogram)
+		}
+	}
+	if merged.Count != int64(len(accesses)/500) {
+		t.Fatalf("batch_ns observations = %d, want %d", merged.Count, len(accesses)/500)
+	}
+	p50, p99 := merged.Quantile(0.5), merged.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles p50=%d p99=%d", p50, p99)
 	}
 }

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketGeometry(t *testing.T) {
+	// Every representable value maps into exactly one bucket whose range
+	// contains it, ranges tile the axis without gaps, and bucket widths
+	// stay within 1/histSub of the lower bound.
+	var prevHi int64 = -1
+	for i := 0; i < NumHistogramBuckets; i++ {
+		lo, hi := BucketRange(i)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo = %d, want %d (gap or overlap)", i, lo, prevHi+1)
+		}
+		if hi < lo {
+			t.Fatalf("bucket %d: hi %d < lo %d", i, hi, lo)
+		}
+		prevHi = hi
+		for _, v := range []int64{lo, hi, lo + (hi-lo)/2} {
+			if got := bucketIndex(v); got != i {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, i)
+			}
+		}
+		if lo >= histSub {
+			if width := hi - lo + 1; width*histSub > lo+histSub {
+				t.Fatalf("bucket %d [%d,%d]: width %d too wide for lower bound %d", i, lo, hi, width, lo)
+			}
+		}
+	}
+	// The top bucket must reach int64 max territory: no observable
+	// duration can fall off the end.
+	if _, hi := BucketRange(NumHistogramBuckets - 1); hi != int64(^uint64(0)>>1) {
+		t.Fatalf("last bucket hi = %d, want MaxInt64", hi)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	h.ObserveValue(42)
+	h.Start()()
+	if h.Count() != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	s := h.Stats()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has a non-empty snapshot")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveValue(-5) // clamps to 0
+	h.ObserveValue(0)
+	h.ObserveValue(1)
+	h.ObserveValue(100)
+	s := h.Stats()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 101 {
+		t.Fatalf("Sum = %d, want 101", s.Sum)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	lo, hi := BucketRange(bucketIndex(100))
+	if got := s.Quantile(1); got != hi || lo > 100 {
+		t.Fatalf("q1 = %d, want %d (bucket [%d,%d])", got, hi, lo, hi)
+	}
+}
+
+// distributions for the differential quantile test, all seeded.
+func sampleUniform(r *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63n(5_000_000) // up to 5ms in ns
+	}
+	return out
+}
+
+func sampleZipf(r *rand.Rand, n int) []int64 {
+	z := rand.NewZipf(r, 1.2, 1, 1<<30)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+func sampleBimodal(r *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		if r.Intn(10) == 0 {
+			// Slow mode: ~100x the fast mode, the classic tail.
+			out[i] = 10_000_000 + r.Int63n(2_000_000)
+		} else {
+			out[i] = 100_000 + r.Int63n(20_000)
+		}
+	}
+	return out
+}
+
+// TestHistogramQuantileDifferential checks the histogram's quantile
+// estimate against the exact sorted-sample quantile on seeded uniform,
+// zipf and bimodal distributions: the estimate must be the upper bound
+// of the exact value's bucket — within one bucket width by construction.
+func TestHistogramQuantileDifferential(t *testing.T) {
+	dists := []struct {
+		name   string
+		sample func(*rand.Rand, int) []int64
+	}{
+		{"uniform", sampleUniform},
+		{"zipf", sampleZipf},
+		{"bimodal", sampleBimodal},
+	}
+	quantiles := []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				vals := d.sample(rand.New(rand.NewSource(seed)), 20_000)
+				h := &Histogram{}
+				for _, v := range vals {
+					h.ObserveValue(v)
+				}
+				s := h.Stats()
+				sorted := append([]int64(nil), vals...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				for _, q := range quantiles {
+					// Same nearest-rank definition as Quantile.
+					rank := ceilRank(q, len(sorted))
+					exact := sorted[rank-1]
+					lo, hi := BucketRange(bucketIndex(exact))
+					got := s.Quantile(q)
+					if got != hi {
+						t.Errorf("seed %d q%.3f: estimate %d, want %d (exact %d in bucket [%d,%d])",
+							seed, q, got, hi, exact, lo, hi)
+					}
+					if got < exact || got-exact > hi-lo {
+						t.Errorf("seed %d q%.3f: estimate %d not within one bucket width of exact %d",
+							seed, q, got, exact)
+					}
+				}
+			}
+		})
+	}
+}
+
+func ceilRank(q float64, n int) int {
+	r := int(q * float64(n))
+	if float64(r) < q*float64(n) {
+		r++
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// TestHistogramMergeAssociative is the merge property test: for random
+// seeded splits of one observation stream across three histograms, merge
+// is associative and commutative, and any merge order equals the
+// single-histogram snapshot.
+func TestHistogramMergeAssociative(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		vals := sampleZipf(r, 9_000)
+		var whole Histogram
+		var parts [3]Histogram
+		for _, v := range vals {
+			whole.ObserveValue(v)
+			parts[r.Intn(3)].ObserveValue(v)
+		}
+		a, b, c := parts[0].Stats(), parts[1].Stats(), parts[2].Stats()
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		swapped := c.Merge(a.Merge(b))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("seed %d: (a+b)+c != a+(b+c)", seed)
+		}
+		if !reflect.DeepEqual(left, swapped) {
+			t.Fatalf("seed %d: merge not commutative", seed)
+		}
+		if want := whole.Stats(); !reflect.DeepEqual(left, want) {
+			t.Fatalf("seed %d: merged parts != whole:\n%+v\n%+v", seed, left, want)
+		}
+	}
+}
+
+func TestHistogramStatsJSONRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		h.ObserveValue(r.Int63n(1 << 40))
+	}
+	s := h.Stats()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatal("snapshot changed across JSON round trip")
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if s.Quantile(q) != back.Quantile(q) {
+			t.Fatalf("q%.2f differs after round trip", q)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks nothing is lost: the bucket totals, count and sum must all add
+// up. Run under -race this also pins the lock-free Observe path.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.ObserveValue(r.Int63n(1 << 20))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Stats()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b[1]
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total = %d, want %d", total, workers*per)
+	}
+}

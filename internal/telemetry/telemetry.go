@@ -1,9 +1,10 @@
 // Package telemetry is the observability layer shared by the experiment
-// engine, the evaluation framework and cmd/dominosim: a lightweight
-// metrics registry (counters, gauges, wall-clock timers with named,
-// ordered snapshots), live per-job progress and wall-time reporting for
-// the parallel experiment engine, and a JSONL sink for structured event
-// traces.
+// engine, the evaluation framework, the serving layer and the command
+// binaries: a lightweight metrics registry (counters, gauges, wall-clock
+// timers and log-scale latency histograms with named, ordered
+// snapshots), live per-job progress and wall-time reporting for the
+// parallel experiment engine, a JSONL sink for structured event traces,
+// and a Prometheus text-exposition renderer for the registry.
 //
 // Everything in this package is optional and cheap to leave disabled:
 // every metric method is safe on a nil receiver and compiles to a single
@@ -16,6 +17,8 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,28 +67,54 @@ func (g *Gauge) Value() int64 {
 
 // Timer accumulates wall-clock durations: count, total, min and max. The
 // zero value is ready to use; a nil *Timer is a no-op sink.
+//
+// Timer is lock-free: every field is an atomic, so Observe never blocks
+// and costs a handful of uncontended atomic operations. The min field
+// uses 0 as its "unset" sentinel; the initializing store goes through the
+// same CAS loop as every later update, so two goroutines racing to record
+// the very first observation cannot lose the smaller of the two — the
+// loser's CAS fails, it re-reads, and only a genuinely smaller value
+// overwrites. (The previous mutex implementation keyed initialization on
+// count==1, which under concurrency could be observed by a racing
+// observer whose duration was not the minimum.)
 type Timer struct {
-	mu       sync.Mutex
-	count    int64
-	total    time.Duration
-	min, max time.Duration
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	// min stores the minimum plus one, so 0 unambiguously means "no
+	// observation yet" even after a genuine 0ns observation.
+	min atomic.Int64
+	max atomic.Int64 // nanoseconds
 }
 
-// Observe records one duration.
+// Observe records one duration. Negative durations clamp to zero.
 func (t *Timer) Observe(d time.Duration) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.count++
-	t.total += d
-	if t.count == 1 || d < t.min {
-		t.min = d
+	n := int64(d)
+	if n < 0 {
+		n = 0
 	}
-	if d > t.max {
-		t.max = d
+	t.count.Add(1)
+	t.total.Add(n)
+	for {
+		cur := t.min.Load()
+		if cur != 0 && n+1 >= cur {
+			break
+		}
+		if t.min.CompareAndSwap(cur, n+1) {
+			break
+		}
 	}
-	t.mu.Unlock()
+	for {
+		cur := t.max.Load()
+		if n <= cur {
+			break
+		}
+		if t.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
 }
 
 // Start begins timing and returns the function that stops it. Usable as
@@ -107,21 +136,24 @@ type TimerStats struct {
 	MaxNS   int64 `json:"max_ns"`
 }
 
-// Stats returns a consistent snapshot of the timer.
+// Stats returns a snapshot of the timer. Each field is read atomically;
+// under concurrent Observe calls the fields may reflect slightly
+// different instants (a weakly consistent snapshot), the usual trade for
+// a lock-free hot path.
 func (t *Timer) Stats() TimerStats {
 	if t == nil {
 		return TimerStats{}
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	s := TimerStats{
-		Count:   t.count,
-		TotalNS: t.total.Nanoseconds(),
-		MinNS:   t.min.Nanoseconds(),
-		MaxNS:   t.max.Nanoseconds(),
+		Count:   t.count.Load(),
+		TotalNS: t.total.Load(),
+		MaxNS:   t.max.Load(),
 	}
-	if t.count > 0 {
-		s.MeanNS = s.TotalNS / t.count
+	if m := t.min.Load(); m > 0 {
+		s.MinNS = m - 1
+	}
+	if s.Count > 0 {
+		s.MeanNS = s.TotalNS / s.Count
 	}
 	return s
 }
@@ -129,11 +161,12 @@ func (t *Timer) Stats() TimerStats {
 // Metric is one named entry of a registry snapshot.
 type Metric struct {
 	Name string `json:"name"`
-	Kind string `json:"kind"` // "counter", "gauge" or "timer"
+	Kind string `json:"kind"` // "counter", "gauge", "timer" or "histogram"
 	// Value carries counter and gauge readings (pointer so a measured
 	// zero survives omitempty).
-	Value *int64      `json:"value,omitempty"`
-	Timer *TimerStats `json:"timer,omitempty"`
+	Value     *int64          `json:"value,omitempty"`
+	Timer     *TimerStats     `json:"timer,omitempty"`
+	Histogram *HistogramStats `json:"histogram,omitempty"`
 }
 
 // Registry hands out named metrics and snapshots them in registration
@@ -151,6 +184,7 @@ type regEntry struct {
 	c    *Counter
 	g    *Gauge
 	t    *Timer
+	h    *Histogram
 }
 
 // New returns an empty registry.
@@ -199,6 +233,19 @@ func (r *Registry) Timer(name string) *Timer {
 	return e.t
 }
 
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, func() regEntry { return regEntry{name: name, h: &Histogram{}} })
+	if e.h == nil {
+		panic("telemetry: metric " + name + " already registered with a different kind")
+	}
+	return e.h
+}
+
 func (r *Registry) lookup(name string, create func() regEntry) regEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -235,6 +282,10 @@ func (r *Registry) Snapshot() []Metric {
 			m.Kind = "timer"
 			s := e.t.Stats()
 			m.Timer = &s
+		case e.h != nil:
+			m.Kind = "histogram"
+			s := e.h.Stats()
+			m.Histogram = &s
 		}
 		out = append(out, m)
 	}
@@ -259,4 +310,24 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// WriteFile dumps the registry as JSON to path atomically: the document
+// is written to a temp file in the target directory and renamed into
+// place, so a crash (or a reader racing a periodic snapshotter) never
+// sees a truncated document where a previous complete one was.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name()) // no-op after a successful rename
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -202,5 +204,113 @@ func BenchmarkCounterEnabled(b *testing.B) {
 	c := &Counter{}
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+// TestTimerConcurrentFirstObservationMin races many goroutines on a
+// fresh timer — the regression test for min initialization: with the
+// old count==1 check, whichever observer happened to be first set min
+// even when a concurrent observer carried a smaller duration. The CAS
+// initialize-min path must always keep the global minimum. Run under
+// -race this also pins the lock-free Observe path.
+func TestTimerConcurrentFirstObservationMin(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		tm := &Timer{}
+		const workers = 8
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				start.Wait() // release all observers at once
+				for i := 0; i < 20; i++ {
+					tm.Observe(time.Duration(1+w*100+i) * time.Microsecond)
+				}
+			}(w)
+		}
+		start.Done()
+		wg.Wait()
+		s := tm.Stats()
+		wantMin := (1 * time.Microsecond).Nanoseconds()
+		wantMax := (time.Duration(1+(workers-1)*100+19) * time.Microsecond).Nanoseconds()
+		if s.Count != workers*20 {
+			t.Fatalf("round %d: Count = %d, want %d", round, s.Count, workers*20)
+		}
+		if s.MinNS != wantMin {
+			t.Fatalf("round %d: MinNS = %d, want %d (first-observation race lost the minimum)",
+				round, s.MinNS, wantMin)
+		}
+		if s.MaxNS != wantMax {
+			t.Fatalf("round %d: MaxNS = %d, want %d", round, s.MaxNS, wantMax)
+		}
+	}
+}
+
+func TestTimerNegativeClampsToZero(t *testing.T) {
+	tm := &Timer{}
+	tm.Observe(-time.Second)
+	tm.Observe(time.Second)
+	s := tm.Stats()
+	if s.MinNS != 0 || s.TotalNS != time.Second.Nanoseconds() {
+		t.Fatalf("Stats = %+v, want min 0 and total 1s", s)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	h.Observe(3 * time.Millisecond)
+	r.Histogram("lat").Observe(5 * time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "histogram" || snap[0].Histogram == nil {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Histogram.Count != 2 {
+		t.Fatalf("histogram count = %d, want 2", snap[0].Histogram.Count)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"histogram"`) || !strings.Contains(sb.String(), `"buckets"`) {
+		t.Fatalf("JSON dump missing histogram payload:\n%s", sb.String())
+	}
+	var nilReg *Registry
+	nilReg.Histogram("x").Observe(time.Second) // must not panic
+}
+
+func TestRegistryWriteFileAtomic(t *testing.T) {
+	r := New()
+	r.Counter("jobs").Add(3)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"jobs"`) {
+		t.Fatalf("dump = %s", data)
+	}
+	// Overwrite in place: the rename replaces the old document.
+	r.Counter("jobs").Add(1)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if !strings.Contains(string(data), `"value": 4`) {
+		t.Fatalf("second dump not updated: %s", data)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".metrics-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
 	}
 }

@@ -13,8 +13,10 @@
 #   THRESHOLD   allowed ns/op regression in percent (default 15)
 #
 # The benchmark set covers the flathash kernel microbenchmarks (Flat vs
-# builtin-map on identical workloads) and the per-prefetcher training-loop
-# benchmarks (BenchmarkTrainLookup). Absolute ns/op gates only apply when
+# builtin-map on identical workloads), the per-prefetcher training-loop
+# benchmarks (BenchmarkTrainLookup), the serving hot path (plain and with
+# telemetry enabled) and the telemetry sinks themselves (enabled and
+# nil-disabled paths). Absolute ns/op gates only apply when
 # the baseline was captured on the same cpu model; the Flat-vs-Map ratio
 # and allocs/op gates apply everywhere. See cmd/benchdiff.
 set -euo pipefail
@@ -29,7 +31,7 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
   ./internal/flathash ./internal/digram ./internal/stms ./internal/isb ./internal/ghb \
-  ./internal/serve \
+  ./internal/serve ./internal/telemetry \
   | tee "$out"
 
 # The lookup-depth analyses allocate a constant number of table headers per
