@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChaosUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-chaos-panic", "1.5"},
+		{"-chaos-kill", "-0.1"},
+		{"-chaos-slow", "2"},
+		{"-chaos-build-fail", "-1"},
+		{"-chaos-slow-for", "-1s"},
+		{"-batch-deadline", "-1s"},
+		{"-restart-backoff", "-1ms"},
+		{"-restart-backoff-max", "-1ms"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestChaosRunSurvives: a bounded run with injected batch panics, shard
+// kills and session build failures must still exit 0 — the supervisor
+// restarts killed shards, faults degrade into failed batches, and the
+// summary accounts for them.
+func TestChaosRunSurvives(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-accesses", "20000", "-clients", "4", "-shards", "2", "-batch", "100", "-scale", "64",
+		"-chaos-seed", "7", "-chaos-panic", "0.05", "-chaos-kill", "0.01", "-chaos-build-fail", "0.2",
+		"-restart-backoff", "1ms", "-restart-backoff-max", "20ms"}
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
+		t.Fatalf("chaos run = %d, want 0; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	m := regexp.MustCompile(`failed_batches=(\d+)`).FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("summary missing failed_batches:\n%s", got)
+	}
+	failed, _ := strconv.Atoi(m[1])
+	if failed == 0 {
+		t.Fatalf("chaos at these rates injected no faults (deterministic plan changed?):\n%s", got)
+	}
+	// Degraded, not dead: most of the load still got served.
+	am := regexp.MustCompile(`accesses=(\d+)`).FindStringSubmatch(got)
+	if am == nil {
+		t.Fatalf("summary missing accesses:\n%s", got)
+	}
+	if served, _ := strconv.Atoi(am[1]); served == 0 {
+		t.Fatalf("no accesses served under chaos:\n%s", got)
+	}
+}
+
+// TestChaosOffKeepsSummaryIdentical is the determinism guard extended to
+// the chaos flags: passing explicit zero rates (and supervisor tuning
+// flags) must leave the primary output byte-identical to a plain run.
+func TestChaosOffKeepsSummaryIdentical(t *testing.T) {
+	base := []string{"-accesses", "20000", "-clients", "4", "-shards", "2", "-batch", "100", "-scale", "64"}
+	var plain, plainErr strings.Builder
+	if code := run(context.Background(), base, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run = %d, stderr: %s", code, plainErr.String())
+	}
+	armed := append(append([]string{}, base...),
+		"-chaos-seed", "99", "-chaos-panic", "0", "-chaos-kill", "0", "-chaos-slow", "0",
+		"-chaos-build-fail", "0", "-restart-backoff", "5ms", "-batch-deadline", "10s")
+	var off, offErr strings.Builder
+	if code := run(context.Background(), armed, &off, &offErr); code != 0 {
+		t.Fatalf("zero-rate run = %d, stderr: %s", code, offErr.String())
+	}
+	plainLines := strings.Split(plain.String(), "\n")
+	offLines := strings.Split(off.String(), "\n")
+	for i := 0; i < 2; i++ {
+		if plainLines[i] != offLines[i] {
+			t.Fatalf("stdout line %d differs with zero-rate chaos flags:\n%q\n%q", i+1, plainLines[i], offLines[i])
+		}
+	}
+}
+
+// TestDrainTimeoutExit3: with every batch stalled far past -drain-timeout,
+// a signal-initiated shutdown must give up at the deadline and exit 3
+// instead of hanging on the stuck shard.
+func TestDrainTimeoutExit3(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out strings.Builder
+	errb := &lockedBuilder{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-accesses", "0", "-clients", "2", "-shards", "2", "-scale", "64",
+			"-chaos-slow", "1", "-chaos-slow-for", "30s", "-drain-timeout", "200ms"}, &out, errb)
+	}()
+	time.Sleep(300 * time.Millisecond) // let clients submit into the stall
+	cancel()
+	select {
+	case code := <-done:
+		if code != 3 {
+			t.Fatalf("run = %d, want 3 (drain deadline); stderr: %s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after cancel + drain timeout")
+	}
+	if !strings.Contains(errb.String(), "drain:") {
+		t.Fatalf("no drain error on stderr: %s", errb.String())
+	}
+}

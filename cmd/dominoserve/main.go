@@ -34,8 +34,23 @@
 // triggered/hit, prefetch count, shard queue wait) for post-hoc
 // analysis; -trace-sample picks every Nth access.
 //
+// Self-healing drills: the -chaos-* flags arm the serving layer's
+// deterministic fault injector (batch panics, shard-goroutine kills,
+// slow batches, session-build failures) so the supervisor, quarantine
+// and watchdog paths can be exercised against the real binary;
+// -batch-deadline arms the stuck-shard watchdog and -restart-backoff
+// tunes the supervisor. Failed batches are counted in the summary
+// (failed_batches=) and in client.batch_errors; the run still exits 0,
+// because surviving injected faults is the point.
+//
+// Exit codes: 0 ok (including a clean signal-initiated drain), 1 runtime
+// error, 2 usage error, 3 drain deadline exceeded (-drain-timeout hit
+// with batches still in flight, mirroring the engine's cancellation
+// code).
+//
 // None of it touches stdout: the summary stays byte-identical whether or
-// not the admin endpoint, tracing or periodic metrics are enabled.
+// not the admin endpoint, tracing, periodic metrics or (at zero rates)
+// the chaos flags are enabled.
 package main
 
 import (
@@ -44,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -67,7 +83,8 @@ func main() {
 
 // run is main, testably: flags from args, summary to stdout, telemetry
 // and errors to stderr, exit code returned (0 ok — including a clean
-// signal-initiated drain, 1 runtime error, 2 usage error).
+// signal-initiated drain, 1 runtime error, 2 usage error, 3 drain
+// deadline exceeded).
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dominoserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -88,7 +105,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tracePath    = fs.String("trace", "", "write sampled per-access JSONL trace events to this file")
 		traceSample  = fs.Int("trace-sample", 1024, "with -trace: record every Nth access per shard")
 		report       = fs.Duration("report", 0, "print a running throughput line to stderr at this interval (0 = off)")
-		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight batches on shutdown")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight batches on shutdown (exit 3 on deadline)")
+
+		batchDeadline  = fs.Duration("batch-deadline", 0, "per-batch watchdog deadline: a shard stuck in one batch longer than this is replaced (0 = off)")
+		restartBackoff = fs.Duration("restart-backoff", 0, "supervisor's first shard-restart delay (0 = serve default)")
+		restartBackMax = fs.Duration("restart-backoff-max", 0, "supervisor restart backoff cap (0 = serve default)")
+		chaosSeed      = fs.Uint64("chaos-seed", 1, "seed for the deterministic chaos injector")
+		chaosPanic     = fs.Float64("chaos-panic", 0, "chaos: fraction of batches that panic (recovered per-batch)")
+		chaosKill      = fs.Float64("chaos-kill", 0, "chaos: fraction of batches that kill their shard goroutine")
+		chaosSlow      = fs.Float64("chaos-slow", 0, "chaos: fraction of batches delayed by -chaos-slow-for")
+		chaosSlowFor   = fs.Duration("chaos-slow-for", 50*time.Millisecond, "chaos: how long a slow batch stalls")
+		chaosBuildFail = fs.Float64("chaos-build-fail", 0, "chaos: fraction of tenants whose session build fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,6 +143,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case *traceSample < 1:
 		fmt.Fprintf(stderr, "dominoserve: invalid -trace-sample %d: must be >= 1\n", *traceSample)
 		return 2
+	case *batchDeadline < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -batch-deadline %s: must be >= 0\n", *batchDeadline)
+		return 2
+	case *restartBackoff < 0 || *restartBackMax < 0:
+		fmt.Fprintf(stderr, "dominoserve: restart backoffs must be >= 0\n")
+		return 2
+	case *chaosSlowFor < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -chaos-slow-for %s: must be >= 0\n", *chaosSlowFor)
+		return 2
+	}
+	for _, rate := range []struct {
+		name string
+		v    float64
+	}{
+		{"-chaos-panic", *chaosPanic},
+		{"-chaos-kill", *chaosKill},
+		{"-chaos-slow", *chaosSlow},
+		{"-chaos-build-fail", *chaosBuildFail},
+	} {
+		if rate.v < 0 || rate.v > 1 {
+			fmt.Fprintf(stderr, "dominoserve: invalid %s %g: must be in [0, 1]\n", rate.name, rate.v)
+			return 2
+		}
 	}
 	known := false
 	for _, n := range workload.Names {
@@ -138,7 +188,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Prefetcher:         *prefetcher,
 		Degree:             *degree,
 		Scale:              *scale,
+		BatchDeadline:      *batchDeadline,
+		RestartBackoff:     *restartBackoff,
+		RestartBackoffMax:  *restartBackMax,
 		Metrics:            reg,
+	}
+	if *chaosPanic > 0 || *chaosKill > 0 || *chaosSlow > 0 || *chaosBuildFail > 0 {
+		cfg.Chaos = &serve.Chaos{
+			Seed:          *chaosSeed,
+			PanicRate:     *chaosPanic,
+			KillRate:      *chaosKill,
+			SlowRate:      *chaosSlow,
+			Slow:          *chaosSlowFor,
+			BuildFailRate: *chaosBuildFail,
+		}
 	}
 
 	var traceFile *os.File
@@ -224,6 +287,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		wg        sync.WaitGroup
 		clientErr = make(chan error, *clients)
 	)
+	submitRetries := reg.Counter("client.submit_retries")
+	batchErrors := reg.Counter("client.batch_errors")
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -235,6 +300,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			buf := make([]mem.Access, *batch)
 			reply := make(chan serve.Result, 1)
 			tenant := fmt.Sprintf("tenant-%d", c)
+			rng := rand.New(rand.NewSource(int64(c + 1)))
 			var sent int64
 			for perClient == 0 || sent < perClient {
 				if ctx.Err() != nil {
@@ -248,7 +314,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					buf[i], _ = gen.Next()
 				}
 				t0 := time.Now()
-				err := srv.Submit(ctx, serve.Batch{Tenant: tenant, Accesses: buf[:n], Reply: reply})
+				err := submit(ctx, srv, serve.Batch{Tenant: tenant, Accesses: buf[:n], Reply: reply}, rng, submitRetries)
 				if err != nil {
 					// Cancellation mid-submit is the normal signal path;
 					// anything else is a real failure.
@@ -257,8 +323,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 					}
 					return
 				}
-				<-reply
-				batchLat.Observe(time.Since(t0))
+				// The reply wait is ctx-aware so a drain deadline cannot
+				// strand a client behind a stuck shard; the reply channel
+				// is buffered, so an abandoned late reply never blocks the
+				// shard either.
+				select {
+				case r := <-reply:
+					batchLat.Observe(time.Since(t0))
+					if r.Err != nil {
+						// A failed batch (isolated panic, quarantine
+						// rejection, shard death) is the service degrading
+						// as designed; count it and keep streaming.
+						batchErrors.Inc()
+					}
+				case <-ctx.Done():
+					return
+				}
 				sent += n
 				submitted.Add(n)
 			}
@@ -295,8 +375,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	defer cancel()
 	code := 0
 	if err := srv.Drain(drainCtx); err != nil {
+		// In-flight batches outlived -drain-timeout: exit 3, the same
+		// code the experiment engine uses for interrupted work.
 		fmt.Fprintf(stderr, "dominoserve: drain: %v\n", err)
-		code = 1
+		code = 3
 	}
 	select {
 	case err := <-clientErr:
@@ -321,8 +403,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "prefetcher=%s workload=%s shards=%d clients=%d batch=%d\n",
 		*prefetcher, params.Name, *shards, *clients, *batch)
-	fmt.Fprintf(stdout, "accesses=%d hits=%d misses=%d prefetches=%d hit_rate=%.4f\n",
-		st.Accesses, st.Hits, st.Misses, prefetches, hitRate)
+	fmt.Fprintf(stdout, "accesses=%d hits=%d misses=%d prefetches=%d hit_rate=%.4f failed_batches=%d\n",
+		st.Accesses, st.Hits, st.Misses, prefetches, hitRate, st.Failed)
 	fmt.Fprintf(stdout, "elapsed=%s throughput=%.0f accesses/sec batch_p50=%s batch_p99=%s batch_p999=%s\n",
 		elapsed.Round(time.Millisecond), float64(st.Accesses)/elapsed.Seconds(), p50, p99, p999)
 
@@ -344,4 +426,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dominoserve: wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
 	}
 	return code
+}
+
+// submit delivers one batch: bounded TrySubmit retries with exponential
+// backoff plus jitter absorb transient ErrBusy overload, and only after
+// the retry budget does the client park on the blocking Submit — real
+// backpressure, but never a busy-spin against a saturated shard.
+func submit(ctx context.Context, srv *serve.Server, b serve.Batch, rng *rand.Rand, retries *telemetry.Counter) error {
+	const (
+		maxTries   = 8
+		maxBackoff = 5 * time.Millisecond
+	)
+	backoff := 50 * time.Microsecond
+	for try := 0; try < maxTries; try++ {
+		err := srv.TrySubmit(b)
+		if !errors.Is(err, serve.ErrBusy) {
+			return err
+		}
+		retries.Inc()
+		// Jitter in [backoff/2, backoff): concurrent clients backing off
+		// the same full shard spread out instead of thundering back.
+		d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	return srv.Submit(ctx, b)
 }

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"domino/internal/telemetry"
+)
+
+// TestChaosKillShardRecoveryUnderLoad is the issue's acceptance
+// scenario, end to end under -race: while healthy tenants stream load,
+// chaos kills one shard's goroutine repeatedly and a poison tenant
+// faults its way into quarantine. Healthy traffic must complete without
+// a single error, the supervisor must restart the killed shard, the
+// poison tenant must be re-admitted after its backoff, and the
+// recovered server must report /healthz 200 with the restart and
+// quarantine counters visible in /metrics.
+func TestChaosKillShardRecoveryUnderLoad(t *testing.T) {
+	reg := telemetry.New()
+	ch := &Chaos{Seed: 11, KillRate: 0.001, BuildFailRate: 0.0005}
+	cfg := Config{
+		Shards:             2,
+		QueueDepth:         16,
+		MaxTenantsPerShard: 8,
+		Scale:              64,
+		RestartBackoff:     time.Millisecond,
+		RestartBackoffMax:  20 * time.Millisecond,
+		QuarantineAfter:    2,
+		QuarantineWindow:   time.Minute,
+		QuarantineBackoff:  10 * time.Millisecond,
+		Metrics:            reg,
+		Chaos:              ch,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	// Cast: a poison tenant whose session builds always fail, a killer
+	// tenant (on the other shard, so quarantine progress is never wiped
+	// by a restart) whose batches kill the shard goroutine, and healthy
+	// tenants streaming on both shards.
+	poison := fatedTenant(t, ch, "poison", true)
+	killer := fatedTenant(t, ch, "killer", false)
+	for s.shardFor(killer).id == s.shardFor(poison).id {
+		killer = fatedTenant(t, ch, killer+"x", false)
+	}
+	poisonAcc := fatedAccesses(t, ch, poison, fateNone)
+	killAcc := fatedAccesses(t, ch, killer, fateKill)
+	var good []string
+	for i := 0; len(good) < 4; i++ {
+		name := fmt.Sprintf("good-%d", i)
+		if !ch.buildFails(name) {
+			good = append(good, name)
+		}
+	}
+
+	base := collectN(20_000, 11)
+	const batchLen = 200
+	// Pre-plan the healthy traffic: only fateNone batches are submitted,
+	// so every one of them must succeed — that is the "other shards keep
+	// serving uninterrupted" claim, made deterministic.
+	type job struct{ lo, hi int }
+	planned := make(map[string][]job)
+	wantAccesses := make(map[string]int)
+	for _, tn := range good {
+		for lo := 0; lo+batchLen <= len(base); lo += batchLen {
+			b := Batch{Tenant: tn, Accesses: base[lo : lo+batchLen]}
+			if ch.planBatch(b) == fateNone {
+				planned[tn] = append(planned[tn], job{lo, lo + batchLen})
+				wantAccesses[tn] += batchLen
+			}
+		}
+		if len(planned[tn]) == 0 {
+			t.Fatalf("no healthy batches planned for %s", tn)
+		}
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	gotAccesses := make(map[string]*atomic.Int64)
+	for _, tn := range good {
+		gotAccesses[tn] = &atomic.Int64{}
+		wg.Add(1)
+		go func(tn string) {
+			defer wg.Done()
+			reply := make(chan Result, 1)
+			for _, j := range planned[tn] {
+				b := Batch{Tenant: tn, Accesses: base[j.lo:j.hi], Reply: reply}
+				if err := s.Submit(ctx, b); err != nil {
+					t.Errorf("%s: Submit: %v", tn, err)
+					return
+				}
+				r := <-reply
+				if r.Err != nil {
+					t.Errorf("%s: healthy batch failed: %v", tn, r.Err)
+					return
+				}
+				gotAccesses[tn].Add(int64(r.Accesses))
+			}
+		}(tn)
+	}
+	// The killer murders its shard three times, mid-load.
+	const kills = 3
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reply := make(chan Result, 1)
+		for i := 0; i < kills; i++ {
+			if err := s.Submit(ctx, Batch{Tenant: killer, Accesses: killAcc, Reply: reply}); err != nil {
+				t.Errorf("killer Submit: %v", err)
+				return
+			}
+			if r := <-reply; r.Err == nil {
+				t.Error("kill batch returned nil error")
+			}
+			time.Sleep(5 * time.Millisecond) // let the shard come back between kills
+		}
+	}()
+	// The poison tenant hammers until it has been quarantined AND
+	// re-admitted at least once (real clock; 10ms backoff).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reply := make(chan Result, 1)
+		deadline := time.Now().Add(30 * time.Second)
+		for sumCounter(reg, ".readmitted") == 0 {
+			if time.Now().After(deadline) {
+				t.Error("poison tenant never re-admitted")
+				return
+			}
+			if err := s.Submit(ctx, Batch{Tenant: poison, Accesses: poisonAcc, Reply: reply}); err != nil {
+				t.Errorf("poison Submit: %v", err)
+				return
+			}
+			if r := <-reply; r.Err == nil {
+				t.Error("poison batch succeeded; its builds must fail")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every pre-planned healthy access was served despite the carnage.
+	for _, tn := range good {
+		if got := int(gotAccesses[tn].Load()); got != wantAccesses[tn] {
+			t.Errorf("%s: served %d accesses, want %d", tn, got, wantAccesses[tn])
+		}
+	}
+	waitFor(t, 10*time.Second, "all shards alive after recovery", func() bool {
+		return s.Health().OK
+	})
+	if restarts := sumCounter(reg, ".restarts"); restarts != kills {
+		t.Errorf("restarts = %d, want %d", restarts, kills)
+	}
+	if q := sumCounter(reg, ".quarantined"); q < 1 {
+		t.Errorf("quarantined = %d, want >= 1", q)
+	}
+	if r := sumCounter(reg, ".readmitted"); r < 1 {
+		t.Errorf("readmitted = %d, want >= 1", r)
+	}
+
+	// The operator's view agrees: /healthz 200, counters in /metrics.
+	admin := NewAdmin(s, reg)
+	rec := httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("post-recovery /healthz = %d, want 200: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	prom := rec.Body.String()
+	for _, want := range []string{"serve_restarts{shard=", "serve_quarantined{shard=", "serve_readmitted{shard=", "serve_panics{shard="} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if h := s.Health(); h.OK || !h.Closed {
+		t.Fatalf("post-drain health = %+v", h)
+	}
+	// Failed batches were accounted: the kills plus every poison fault
+	// and rejection.
+	if st := s.Stats(); st.Failed < kills+2 {
+		t.Fatalf("Stats.Failed = %d, want >= %d", st.Failed, kills+2)
+	}
+}

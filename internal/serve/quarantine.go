@@ -1,0 +1,113 @@
+// Poison-tenant quarantine: a tenant whose batches fault repeatedly is
+// excluded from its shard for a while, so one bad access stream cannot
+// crash-loop a shard goroutine shared by dozens of healthy tenants.
+//
+// The state machine is per-(incarnation, tenant) and lives entirely on
+// the shard goroutine (quarState in shardState.quar), so it needs no
+// locking:
+//
+//	healthy --K faults in QuarantineWindow--> quarantined(strike s)
+//	quarantined --batch before `until`-----> rejected (ErrQuarantined)
+//	quarantined --batch after `until`------> re-admitted, faults reset
+//	re-admitted --K more faults------------> quarantined(strike s+1),
+//	                                         backoff doubled (capped)
+//
+// Re-admission is lazy: nothing wakes up to lift a quarantine; the next
+// batch after the deadline is simply admitted. A quarantined tenant's
+// session is dropped immediately — whatever metadata state poisoned it
+// is rebuilt from scratch on re-admission, which is the same
+// start-clean reasoning the supervisor applies to whole shards.
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// quarState tracks one tenant's fault history within a shard incarnation.
+type quarState struct {
+	faults      int       // faults inside the current window
+	windowStart time.Time // start of the current fault-counting window
+	until       time.Time // non-zero while quarantined: re-admission time
+	strikes     int       // completed quarantines; drives backoff doubling
+}
+
+// admit gates a batch on its tenant's quarantine state. It returns
+// ErrQuarantined (wrapped, with the remaining time) while the tenant is
+// serving a quarantine, and re-admits it on the first batch past the
+// deadline.
+func (st *shardState) admit(sh *shard, tenant string) error {
+	q, ok := st.quar[tenant]
+	if !ok || q.until.IsZero() {
+		return nil
+	}
+	now := sh.cfg.now()
+	if now.Before(q.until) {
+		sh.quarRejectC.Inc()
+		return fmt.Errorf("%w: tenant %q for %v more", ErrQuarantined, tenant, q.until.Sub(now).Round(time.Millisecond))
+	}
+	// Served its time: re-admit with a clean fault window. strikes is
+	// kept so a relapse backs off harder than a first offense.
+	q.until = time.Time{}
+	q.faults = 0
+	sh.readmittedC.Inc()
+	sh.quarantinedN.Add(-1)
+	sh.quarG.Add(-1)
+	return nil
+}
+
+// recordFault charges one fault (batch panic or session-build failure)
+// to a tenant and quarantines it once it accumulates QuarantineAfter
+// faults inside QuarantineWindow.
+func (st *shardState) recordFault(sh *shard, tenant string) {
+	k := sh.cfg.QuarantineAfter
+	if k < 0 {
+		return // quarantine disabled
+	}
+	now := sh.cfg.now()
+	q, ok := st.quar[tenant]
+	if !ok {
+		st.pruneQuar(sh)
+		q = &quarState{windowStart: now}
+		st.quar[tenant] = q
+	}
+	if now.Sub(q.windowStart) > sh.cfg.QuarantineWindow {
+		q.windowStart = now
+		q.faults = 0
+	}
+	q.faults++
+	if q.faults < k {
+		return
+	}
+	// Threshold hit: quarantine with exponential backoff per strike.
+	backoff := sh.cfg.QuarantineBackoff << uint(min(q.strikes, 16))
+	backoff = min(backoff, sh.cfg.QuarantineBackoffMax)
+	q.until = now.Add(backoff)
+	q.strikes++
+	q.faults = 0
+	// Drop the (possibly poisoned) session state right away; the tenant
+	// rebuilds it from scratch on re-admission.
+	if _, live := st.tenants[tenant]; live {
+		delete(st.tenants, tenant)
+		sh.tenantsG.Set(int64(len(st.tenants)))
+	}
+	sh.quarantinedC.Inc()
+	sh.quarantinedN.Add(1)
+	sh.quarG.Add(1)
+}
+
+// pruneQuar bounds the fault-history map. Entries that are neither
+// quarantined nor mid-window are pure history and safe to forget; they
+// only existed to catch slow-burn offenders, and an unbounded tenant
+// namespace must not grow shard memory without bound.
+func (st *shardState) pruneQuar(sh *shard) {
+	if len(st.quar) <= 4*sh.cfg.MaxTenantsPerShard {
+		return
+	}
+	now := sh.cfg.now()
+	for name, q := range st.quar {
+		if q.until.IsZero() && now.Sub(q.windowStart) > sh.cfg.QuarantineWindow {
+			delete(st.quar, name)
+		}
+	}
+}

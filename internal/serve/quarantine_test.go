@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the test clock behind Config.now: atomics, because the
+// shard goroutine reads it while the test advances it.
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// quarServer builds a started server whose poison tenant always fails
+// session builds (one fault per batch) under the given clock.
+func quarServer(t *testing.T, clock *fakeClock, cfg Config) (*Server, *Chaos, string, string) {
+	t.Helper()
+	ch := &Chaos{Seed: 21, BuildFailRate: 0.5}
+	cfg.Chaos = ch
+	cfg.now = clock.now
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	poison := fatedTenant(t, ch, "poison", true)
+	good := fatedTenant(t, ch, "good", false)
+	return s, ch, poison, good
+}
+
+// TestQuarantineLifecycle walks the full state machine on a fake clock:
+// K faults quarantine the tenant, batches during quarantine are
+// rejected with ErrQuarantined, the first batch past the deadline
+// re-admits it, and each relapse doubles the backoff up to the cap.
+func TestQuarantineLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.QuarantineAfter = 2
+	cfg.QuarantineWindow = time.Minute
+	cfg.QuarantineBackoff = 100 * time.Millisecond
+	cfg.QuarantineBackoffMax = 300 * time.Millisecond
+	s, _, poison, good := quarServer(t, clock, cfg)
+	defer s.Drain(context.Background())
+
+	accesses := collect(t, 50, 9)
+	submit := func(tenant string) Result {
+		t.Helper()
+		return submitWait(t, s, Batch{Tenant: tenant, Accesses: accesses})
+	}
+	sh := s.shardFor(poison)
+	quarantined := func() int { return s.Health().Shards[sh.id].Quarantined }
+
+	// Fault 1 of 2: failed batch, not yet quarantined.
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("fault 1: err = %v, want build failure", r.Err)
+	}
+	if quarantined() != 0 {
+		t.Fatal("quarantined after one fault")
+	}
+	// Fault 2 trips the threshold: strike 1, 100ms quarantine.
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("fault 2: err = %v, want build failure", r.Err)
+	}
+	if quarantined() != 1 {
+		t.Fatal("not quarantined after K faults")
+	}
+	// Inside the quarantine: rejected without touching the session.
+	if r := submit(poison); !errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("during quarantine: err = %v, want ErrQuarantined", r.Err)
+	}
+	clock.advance(50 * time.Millisecond)
+	if r := submit(poison); !errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("50ms into 100ms quarantine: err = %v, want ErrQuarantined", r.Err)
+	}
+	// Past the deadline: re-admitted (and immediately faulting again).
+	clock.advance(60 * time.Millisecond)
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("after quarantine: err = %v, want build failure (re-admitted)", r.Err)
+	}
+	if quarantined() != 0 {
+		t.Fatal("still counted quarantined after re-admission")
+	}
+	// Relapse: strike 2 doubles the backoff to 200ms.
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("relapse fault 2: err = %v, want build failure", r.Err)
+	}
+	clock.advance(150 * time.Millisecond)
+	if r := submit(poison); !errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("150ms into doubled 200ms quarantine: err = %v, want ErrQuarantined", r.Err)
+	}
+	clock.advance(60 * time.Millisecond)
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("after doubled quarantine: err = %v, want re-admission", r.Err)
+	}
+	// Strike 3 would be 400ms but caps at 300ms.
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("strike-3 fault 2: err = %v, want build failure", r.Err)
+	}
+	clock.advance(250 * time.Millisecond)
+	if r := submit(poison); !errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("250ms into capped 300ms quarantine: err = %v, want ErrQuarantined", r.Err)
+	}
+	clock.advance(60 * time.Millisecond)
+	if r := submit(poison); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("after capped quarantine: err = %v, want re-admission", r.Err)
+	}
+
+	// A healthy tenant was never in the blast radius.
+	if r := submit(good); r.Err != nil {
+		t.Fatalf("good tenant: %v", r.Err)
+	}
+}
+
+// TestQuarantineWindowExpiry: faults further apart than the window do
+// not accumulate — only a burst within QuarantineWindow quarantines.
+func TestQuarantineWindowExpiry(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.QuarantineAfter = 2
+	cfg.QuarantineWindow = 100 * time.Millisecond
+	cfg.QuarantineBackoff = time.Second
+	s, _, poison, _ := quarServer(t, clock, cfg)
+	defer s.Drain(context.Background())
+
+	accesses := collect(t, 50, 9)
+	submit := func() Result {
+		t.Helper()
+		return submitWait(t, s, Batch{Tenant: poison, Accesses: accesses})
+	}
+	// Fault, wait out the window, fault again: window restarted, so the
+	// second burst needs K faults of its own.
+	if r := submit(); errors.Is(r.Err, ErrQuarantined) || r.Err == nil {
+		t.Fatalf("fault 1: %v", r.Err)
+	}
+	clock.advance(150 * time.Millisecond)
+	if r := submit(); errors.Is(r.Err, ErrQuarantined) || r.Err == nil {
+		t.Fatalf("fault after window: %v, want plain failure (window expired)", r.Err)
+	}
+	// Same window this time: the next fault quarantines.
+	if r := submit(); errors.Is(r.Err, ErrQuarantined) || r.Err == nil {
+		t.Fatalf("burst fault 2: %v", r.Err)
+	}
+	if r := submit(); !errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("after in-window burst: err = %v, want ErrQuarantined", r.Err)
+	}
+}
+
+// TestQuarantineDisabled: QuarantineAfter < 0 never quarantines no
+// matter how many faults a tenant racks up.
+func TestQuarantineDisabled(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.QuarantineAfter = -1
+	s, _, poison, _ := quarServer(t, clock, cfg)
+	defer s.Drain(context.Background())
+	accesses := collect(t, 50, 9)
+	for i := 0; i < 10; i++ {
+		r := submitWait(t, s, Batch{Tenant: poison, Accesses: accesses})
+		if r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+			t.Fatalf("batch %d: err = %v, want plain build failure", i, r.Err)
+		}
+	}
+	if q := s.Health().Shards[s.shardFor(poison).id].Quarantined; q != 0 {
+		t.Fatalf("quarantined = %d with quarantine disabled", q)
+	}
+}

@@ -17,6 +17,23 @@
 // are capped with least-recently-active eviction, and the per-session
 // buffer/stream bookkeeping compacts itself (the bugfixes pinned by this
 // package's soak test).
+//
+// The service is also self-healing — faults degrade, they do not spread:
+//
+//   - A panic while processing a batch fails only that batch: the shard
+//     goroutine recovers, surfaces the error through Batch.Reply
+//     (Result.Err) and a serve.shardN.panics counter, and keeps serving.
+//   - If a shard goroutine dies anyway, a per-shard supervisor rebuilds
+//     it with exponential backoff plus deterministic jitter; tenants are
+//     re-admitted lazily (their metadata is rebuilt on first use). The
+//     supervision tree lives in supervisor.go.
+//   - A tenant whose batches fault repeatedly is quarantined with timed,
+//     exponentially backed-off re-admission (quarantine.go), so one
+//     poison stream cannot crash-loop a shard shared by 63 others.
+//   - An optional per-batch deadline (Config.BatchDeadline) watches for a
+//     stuck shard and replaces its goroutine.
+//   - Every one of those paths is pinned deterministically by the chaos
+//     injector in chaos.go.
 package serve
 
 import (
@@ -43,6 +60,16 @@ var ErrClosed = errors.New("serve: server closed")
 // ErrBusy is returned by TrySubmit when the tenant's shard queue is full.
 var ErrBusy = errors.New("serve: shard queue full")
 
+// ErrQuarantined is wrapped by Result.Err (and reported through Reply)
+// while a tenant is quarantined after repeated faults; the batch is
+// rejected without touching any session.
+var ErrQuarantined = errors.New("serve: tenant quarantined")
+
+// ErrShardDown is returned by Submit/TrySubmit — and delivered through
+// Reply for batches already queued — when a shard has exhausted its
+// restart budget (Config.MaxRestarts) and is permanently down.
+var ErrShardDown = errors.New("serve: shard permanently down")
+
 // Config parameterises a Server. The zero value of every field is replaced
 // by the default documented on it.
 type Config struct {
@@ -68,12 +95,52 @@ type Config struct {
 	// BufferBlocks is the per-session prefetch-buffer capacity (default
 	// 32, the paper's size).
 	BufferBlocks int
+
+	// MaxRestarts budgets supervisor restarts per shard within one crash
+	// burst: 0 (the default) restarts without limit, a negative value
+	// disables restarts entirely, and a positive value marks the shard
+	// permanently down (ErrShardDown) once exceeded. A shard that stays
+	// up longer than RestartBackoffMax starts a fresh burst.
+	MaxRestarts int
+	// RestartBackoff is the supervisor's first restart delay (default
+	// 50ms); each consecutive restart doubles it, with deterministic
+	// jitter, up to RestartBackoffMax (default 5s).
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
+
+	// QuarantineAfter is the fault budget: a tenant whose batches fault
+	// QuarantineAfter times within QuarantineWindow is quarantined
+	// (default 3; negative disables quarantine).
+	QuarantineAfter int
+	// QuarantineWindow is the sliding fault-counting window (default 30s).
+	QuarantineWindow time.Duration
+	// QuarantineBackoff is the first quarantine duration (default 1s);
+	// each re-offence after re-admission doubles it up to
+	// QuarantineBackoffMax (default 2m).
+	QuarantineBackoff    time.Duration
+	QuarantineBackoffMax time.Duration
+
+	// BatchDeadline, when positive, arms the watchdog: a shard stuck in
+	// one batch for longer than this is marked unhealthy and its
+	// goroutine replaced by the supervisor. The stuck goroutine cannot be
+	// killed; it is abandoned and exits on its own once it unblocks (its
+	// batch then gets a late reply). 0 disables the watchdog.
+	BatchDeadline time.Duration
+
+	// Chaos, if non-nil, deterministically injects faults (batch panics,
+	// shard kills, stalls, session-build failures) into the serving path.
+	// It exists to drill the recovery machinery — tests and operational
+	// fire drills — and must stay nil in production configurations.
+	Chaos *Chaos
+
 	// Metrics, if non-nil, receives per-shard throughput counters, queue
 	// depth and high-water gauges, batch latency / queue wait / batch
-	// size histograms, and per-tenant-class accuracy and coverage
-	// counters, all under "serve.*". A nil registry costs nothing on the
-	// hot path: every instrumented pointer is nil and every metric call
-	// is a single branch.
+	// size histograms, fault-containment counters (panics, build_errors,
+	// batch_failures, restarts, stalls, quarantined, readmitted,
+	// quarantine_rejects, quarantined_now), and per-tenant-class accuracy
+	// and coverage counters, all under "serve.*". A nil registry costs
+	// nothing on the hot path: every instrumented pointer is nil and
+	// every metric call is a single branch.
 	Metrics *telemetry.Registry
 	// TenantClass maps a tenant name onto its accounting class for the
 	// per-class counters ("serve.tenant.<class>.*"). Nil uses
@@ -87,6 +154,10 @@ type Config struct {
 	// TraceEvery samples every Nth access per shard into Trace (default
 	// 1024 when Trace is set; 1 records everything).
 	TraceEvery int
+
+	// now is the clock behind quarantine and restart-burst timing,
+	// overridable by tests. Defaults to time.Now.
+	now func() time.Time
 }
 
 // DefaultTenantClass is the default Config.TenantClass: the tenant name
@@ -130,6 +201,33 @@ func (c Config) withDefaults() Config {
 	if c.BufferBlocks <= 0 {
 		c.BufferBlocks = 32
 	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 50 * time.Millisecond
+	}
+	if c.RestartBackoffMax <= 0 {
+		c.RestartBackoffMax = 5 * time.Second
+	}
+	if c.RestartBackoffMax < c.RestartBackoff {
+		c.RestartBackoffMax = c.RestartBackoff
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.QuarantineWindow <= 0 {
+		c.QuarantineWindow = 30 * time.Second
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = time.Second
+	}
+	if c.QuarantineBackoffMax <= 0 {
+		c.QuarantineBackoffMax = 2 * time.Minute
+	}
+	if c.QuarantineBackoffMax < c.QuarantineBackoff {
+		c.QuarantineBackoffMax = c.QuarantineBackoff
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
 	return c
 }
 
@@ -164,9 +262,9 @@ type Batch struct {
 	// Accesses are the tenant's next accesses, oldest first.
 	Accesses []mem.Access
 	// Reply, if non-nil, receives exactly one Result when the batch has
-	// been processed. The shard's send blocks until the caller receives
-	// (or the channel has room), so give Reply capacity if the client
-	// does anything else between submit and receive.
+	// been processed or failed. The shard's send blocks until the caller
+	// receives (or the channel has room), so give Reply capacity if the
+	// client does anything else between submit and receive.
 	Reply chan<- Result
 
 	// enqueuedAt is stamped by Submit/TrySubmit when the server is
@@ -207,6 +305,13 @@ type Result struct {
 	// Prefetched lists the lines the service decided to prefetch for this
 	// batch, in issue order. The slice is owned by the caller.
 	Prefetched []mem.Line
+	// Err is non-nil when the service failed the batch instead of
+	// processing it: the batch panicked (the fault is isolated to this
+	// batch), the tenant's session could not be built, the tenant is
+	// quarantined (errors.Is(err, ErrQuarantined)), or the shard is
+	// permanently down (errors.Is(err, ErrShardDown)). A failed batch
+	// trains nothing.
+	Err error
 }
 
 // ShardStats is one shard's lifetime totals.
@@ -219,6 +324,10 @@ type ShardStats struct {
 	Prefetches uint64
 	Tenants    int
 	Evicted    uint64
+	// Failed counts batches that were answered with Result.Err instead
+	// of being processed (panics, build failures, quarantine rejections,
+	// dead-shard rejections).
+	Failed uint64
 }
 
 // Stats aggregates the per-shard totals.
@@ -227,6 +336,7 @@ type Stats struct {
 	Accesses uint64
 	Hits     uint64
 	Misses   uint64
+	Failed   uint64
 }
 
 // Server is the sharded prefetch service. Construct with New, launch with
@@ -240,10 +350,10 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// shard is one single-writer metadata partition. Everything below `in` is
-// owned by the shard goroutine; the stats fields are written by it and
-// read by Stats through the counters (atomics via telemetry) plus a
-// snapshot mutex for the plain fields.
+// shard is one single-writer metadata partition. The goroutine-owned
+// session state lives in shardState (one per goroutine incarnation, see
+// supervisor.go); this struct holds the queue, the supervision/health
+// atomics, and the telemetry sinks shared across incarnations.
 type shard struct {
 	id  int
 	in  chan Batch
@@ -252,40 +362,65 @@ type shard struct {
 	// instr is set when any observability sink (registry or trace) is
 	// configured; it gates the per-batch time.Now stamp in Submit.
 	instr bool
-	// alive is true while the shard goroutine is running; Health reads
-	// it for the liveness report.
-	alive atomic.Bool
+	// watchdog is set when Config.BatchDeadline is armed; it gates the
+	// per-batch busy stamps below.
+	watchdog bool
+
+	// state is the shard's supervision state (ShardState), written by
+	// Start and the supervisor, read by Health and Submit.
+	state atomic.Int32
+	// gen is the current goroutine incarnation. An incarnation that
+	// observes a newer generation after finishing a batch knows it was
+	// replaced by the watchdog and exits without touching the queue.
+	gen atomic.Uint64
+	// restarts counts supervisor restarts over the shard's lifetime.
+	restarts atomic.Uint64
+	// quarantinedN is the number of tenants currently quarantined, for
+	// Health (the owning incarnation writes it).
+	quarantinedN atomic.Int64
+	// busyGen/busySince stamp the batch being processed (incarnation and
+	// start nanos; busySince 0 = idle) for the watchdog.
+	busyGen   atomic.Uint64
+	busySince atomic.Int64
 	// hwm is the queue-depth high-water mark (batches, including the one
 	// being processed), written by the shard goroutine, read by Health.
 	hwm atomic.Int64
 
 	// telemetry (nil-safe when no registry is configured)
-	queueDepth *telemetry.Gauge
-	queueHWM   *telemetry.Gauge
-	tenantsG   *telemetry.Gauge
-	accessesC  *telemetry.Counter
-	batchesC   *telemetry.Counter
-	hitsC      *telemetry.Counter
-	prefetchC  *telemetry.Counter
-	evictedC   *telemetry.Counter
-	batchTimer *telemetry.Timer
-	batchHist  *telemetry.Histogram // batch processing latency, ns
-	queueWait  *telemetry.Histogram // submit-to-dequeue wait, ns
-	batchSize  *telemetry.Histogram // accesses per batch
-
-	// goroutine-owned state
-	tenants map[string]*tenantSession
-	clock   uint64
-	classes map[string]*classCounters // per-class counter cache
-	traceN  uint64                    // accesses seen, for every-Nth sampling
+	queueDepth   *telemetry.Gauge
+	queueHWM     *telemetry.Gauge
+	tenantsG     *telemetry.Gauge
+	accessesC    *telemetry.Counter
+	batchesC     *telemetry.Counter
+	hitsC        *telemetry.Counter
+	prefetchC    *telemetry.Counter
+	evictedC     *telemetry.Counter
+	panicsC      *telemetry.Counter // recovered per-batch panics
+	buildErrsC   *telemetry.Counter // session build failures
+	failedC      *telemetry.Counter // batches answered with Result.Err
+	restartsC    *telemetry.Counter // supervisor restarts
+	stalledC     *telemetry.Counter // watchdog replacements of a stuck goroutine
+	quarantinedC *telemetry.Counter // tenants entering quarantine
+	readmittedC  *telemetry.Counter // tenants re-admitted after quarantine
+	quarRejectC  *telemetry.Counter // batches rejected while quarantined
+	quarG        *telemetry.Gauge   // tenants currently quarantined
+	batchTimer   *telemetry.Timer
+	batchHist    *telemetry.Histogram // batch processing latency, ns
+	queueWait    *telemetry.Histogram // submit-to-dequeue wait, ns
+	batchSize    *telemetry.Histogram // accesses per batch
 
 	statMu sync.Mutex
 	stats  ShardStats
 }
 
+func (sh *shard) curState() ShardState { return ShardState(sh.state.Load()) }
+func (sh *shard) setState(s ShardState) {
+	sh.state.Store(int32(s))
+}
+
 // classCounters is one tenant class's accuracy/coverage counter set.
 // The counters come from the shared registry (same names resolve to the
-// same atomics across shards); each shard caches the lookup so the
+// same atomics across shards); each incarnation caches the lookup so the
 // registry lock is off the batch path.
 type classCounters struct {
 	triggered *telemetry.Counter // L1 misses delivered to the prefetcher
@@ -294,11 +429,11 @@ type classCounters struct {
 	used      *telemetry.Counter // prefetches later consumed
 }
 
-// classFor returns the shard's cached counter set for class, registering
-// the counters on first use. Nil-safe: with no registry the counters are
-// nil and every Add is a no-op.
-func (sh *shard) classFor(class string) *classCounters {
-	if cc, ok := sh.classes[class]; ok {
+// classFor returns the incarnation's cached counter set for class,
+// registering the counters on first use. Nil-safe: with no registry the
+// counters are nil and every Add is a no-op.
+func (sh *shard) classFor(st *shardState, class string) *classCounters {
+	if cc, ok := st.classes[class]; ok {
 		return cc
 	}
 	reg := sh.cfg.Metrics
@@ -309,7 +444,7 @@ func (sh *shard) classFor(class string) *classCounters {
 		issued:    reg.Counter(p + "issued"),
 		used:      reg.Counter(p + "used"),
 	}
-	sh.classes[class] = cc
+	st.classes[class] = cc
 	return cc
 }
 
@@ -333,13 +468,12 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			id:      i,
-			in:      make(chan Batch, cfg.QueueDepth),
-			cfg:     cfg,
-			instr:   cfg.Metrics != nil || cfg.Trace != nil,
-			tenants: make(map[string]*tenantSession, cfg.MaxTenantsPerShard),
-			classes: make(map[string]*classCounters),
-			stats:   ShardStats{Shard: i},
+			id:       i,
+			in:       make(chan Batch, cfg.QueueDepth),
+			cfg:      cfg,
+			instr:    cfg.Metrics != nil || cfg.Trace != nil,
+			watchdog: cfg.BatchDeadline > 0,
+			stats:    ShardStats{Shard: i},
 		}
 		if reg := cfg.Metrics; reg != nil {
 			p := fmt.Sprintf("serve.shard%d.", i)
@@ -351,6 +485,15 @@ func New(cfg Config) (*Server, error) {
 			sh.hitsC = reg.Counter(p + "hits")
 			sh.prefetchC = reg.Counter(p + "prefetches")
 			sh.evictedC = reg.Counter(p + "evicted")
+			sh.panicsC = reg.Counter(p + "panics")
+			sh.buildErrsC = reg.Counter(p + "build_errors")
+			sh.failedC = reg.Counter(p + "batch_failures")
+			sh.restartsC = reg.Counter(p + "restarts")
+			sh.stalledC = reg.Counter(p + "stalls")
+			sh.quarantinedC = reg.Counter(p + "quarantined")
+			sh.readmittedC = reg.Counter(p + "readmitted")
+			sh.quarRejectC = reg.Counter(p + "quarantine_rejects")
+			sh.quarG = reg.Gauge(p + "quarantined_now")
 			sh.batchTimer = reg.Timer(p + "batch")
 			sh.batchHist = reg.Histogram(p + "batch_ns")
 			sh.queueWait = reg.Histogram(p + "queue_wait_ns")
@@ -364,16 +507,13 @@ func New(cfg Config) (*Server, error) {
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Start launches the shard goroutines.
+// Start launches one supervisor per shard; each supervisor runs (and,
+// after faults, re-runs) the shard's single-writer goroutine.
 func (s *Server) Start() {
 	for _, sh := range s.shards {
 		s.wg.Add(1)
-		sh.alive.Store(true)
-		go func(sh *shard) {
-			defer s.wg.Done()
-			defer sh.alive.Store(false)
-			sh.run()
-		}(sh)
+		sh.setState(ShardAlive)
+		go s.supervise(sh)
 	}
 }
 
@@ -386,13 +526,17 @@ func (s *Server) shardFor(tenant string) *shard {
 
 // Submit enqueues b on its tenant's shard, blocking while the shard queue
 // is full — the backpressure path. It returns ctx.Err() if ctx is done
-// first, and ErrClosed once the server is draining or closed.
+// first, ErrClosed once the server is draining or closed, and
+// ErrShardDown if the tenant's shard has exhausted its restart budget.
 func (s *Server) Submit(ctx context.Context, b Batch) error {
 	sh := s.shardFor(b.Tenant)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if sh.curState() == ShardDead {
+		return ErrShardDown
 	}
 	if sh.instr {
 		b.enqueuedAt = time.Now()
@@ -414,6 +558,9 @@ func (s *Server) TrySubmit(b Batch) error {
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if sh.curState() == ShardDead {
+		return ErrShardDown
 	}
 	if sh.instr {
 		b.enqueuedAt = time.Now()
@@ -463,165 +610,24 @@ func (s *Server) Stats() Stats {
 		out.Accesses += st.Accesses
 		out.Hits += st.Hits
 		out.Misses += st.Misses
+		out.Failed += st.Failed
 	}
 	return out
-}
-
-// run is the shard goroutine: drain batches until the input channel
-// closes, applying each batch to its tenant's session in order.
-func (sh *shard) run() {
-	for b := range sh.in {
-		// Depth counts this batch plus everything still queued behind it.
-		depth := int64(len(sh.in)) + 1
-		sh.queueDepth.Set(depth - 1)
-		if depth > sh.hwm.Load() {
-			sh.hwm.Store(depth)
-			sh.queueHWM.Set(depth)
-		}
-		var queueNS int64
-		if !b.enqueuedAt.IsZero() {
-			queueNS = int64(time.Since(b.enqueuedAt))
-			sh.queueWait.ObserveValue(queueNS)
-		}
-		sh.batchSize.ObserveValue(int64(len(b.Accesses)))
-
-		var start time.Time
-		if sh.instr {
-			start = time.Now()
-		}
-		res := sh.process(b, queueNS)
-		if sh.instr {
-			d := time.Since(start)
-			sh.batchTimer.Observe(d)
-			sh.batchHist.Observe(d)
-		}
-
-		sh.batchesC.Inc()
-		sh.accessesC.Add(int64(res.Accesses))
-		sh.hitsC.Add(int64(res.Hits))
-		sh.prefetchC.Add(int64(len(res.Prefetched)))
-
-		sh.statMu.Lock()
-		sh.stats.Batches++
-		sh.stats.Accesses += uint64(res.Accesses)
-		sh.stats.Hits += uint64(res.Hits)
-		sh.stats.Misses += uint64(res.Misses)
-		sh.stats.Prefetches += uint64(len(res.Prefetched))
-		sh.stats.Tenants = len(sh.tenants)
-		sh.statMu.Unlock()
-
-		if b.Reply != nil {
-			b.Reply <- res
-		}
-	}
-	sh.queueDepth.Set(0)
-}
-
-// process trains and looks up one batch against its tenant's session.
-// queueNS is the batch's measured shard-queue wait, attached to sampled
-// trace events.
-func (sh *shard) process(b Batch, queueNS int64) Result {
-	t := sh.session(b.Tenant)
-	res := Result{Tenant: b.Tenant, Accesses: len(b.Accesses)}
-	trace, every := sh.cfg.Trace, uint64(sh.cfg.TraceEvery)
-	for _, a := range b.Accesses {
-		out := t.sess.Access(a)
-		if out.Triggered {
-			if out.Hit {
-				res.Hits++
-			} else {
-				res.Misses++
-			}
-		}
-		if len(out.Prefetched) > 0 {
-			res.Prefetched = append(res.Prefetched, out.Prefetched...)
-		}
-		if trace != nil {
-			if sh.traceN%every == 0 {
-				trace.Emit(TraceEvent{
-					Tenant:     b.Tenant,
-					Class:      t.class,
-					Shard:      sh.id,
-					Addr:       uint64(a.Addr),
-					PC:         uint64(a.PC),
-					Triggered:  out.Triggered,
-					Hit:        out.Hit,
-					Prefetched: len(out.Prefetched),
-					QueueNS:    queueNS,
-				})
-			}
-			sh.traceN++
-		}
-	}
-	if t.cc != nil {
-		// Per-class accuracy/coverage feed: the deltas of the session's
-		// live counters across this batch. Misses here are L1-D misses —
-		// exactly the accesses delivered to the prefetcher as triggers.
-		snap := t.sess.Stats()
-		t.cc.triggered.Add(int64(snap.Misses - t.last.Misses))
-		t.cc.covered.Add(int64(snap.Covered - t.last.Covered))
-		t.cc.issued.Add(int64(snap.Issued - t.last.Issued))
-		t.cc.used.Add(int64(snap.Used - t.last.Used))
-		t.last = snap
-	}
-	return res
-}
-
-// session returns the tenant's session, admitting it (and evicting the
-// least recently active tenant when the shard is at capacity) on first
-// use. Only the shard goroutine calls this.
-func (sh *shard) session(tenant string) *tenantSession {
-	sh.clock++
-	t, ok := sh.tenants[tenant]
-	if !ok {
-		if len(sh.tenants) >= sh.cfg.MaxTenantsPerShard {
-			sh.evictColdest()
-		}
-		p, err := buildPrefetcher(sh.cfg)
-		if err != nil {
-			// New validated the kind; reaching this is a programming error.
-			panic(err)
-		}
-		cfg := prefetch.DefaultEvalConfig()
-		cfg.BufferBlocks = sh.cfg.BufferBlocks
-		t = &tenantSession{sess: prefetch.NewSession(p, cfg)}
-		if sh.cfg.Metrics != nil {
-			t.class = sh.cfg.TenantClass(tenant)
-			t.cc = sh.classFor(t.class)
-		} else if sh.cfg.Trace != nil {
-			t.class = sh.cfg.TenantClass(tenant)
-		}
-		sh.tenants[tenant] = t
-		sh.tenantsG.Set(int64(len(sh.tenants)))
-	}
-	t.seen = sh.clock
-	return t
-}
-
-// evictColdest drops the least recently active tenant. Linear scan: the
-// per-shard tenant cap is small (default 64).
-func (sh *shard) evictColdest() {
-	var victim string
-	var oldest uint64
-	first := true
-	for name, t := range sh.tenants {
-		if first || t.seen < oldest {
-			victim, oldest, first = name, t.seen, false
-		}
-	}
-	if !first {
-		delete(sh.tenants, victim)
-		sh.evictedC.Inc()
-		sh.statMu.Lock()
-		sh.stats.Evicted++
-		sh.statMu.Unlock()
-	}
 }
 
 // ShardHealth is one shard's liveness and queue occupancy.
 type ShardHealth struct {
 	Shard int  `json:"shard"`
 	Alive bool `json:"alive"`
+	// State is the supervision state: "alive", "restarting" (the
+	// supervisor is backing off before rebuilding the goroutine), "dead"
+	// (restart budget exhausted) or "stopped" (not started, or cleanly
+	// drained).
+	State string `json:"state"`
+	// Restarts counts supervisor restarts of this shard's goroutine.
+	Restarts uint64 `json:"restarts"`
+	// Quarantined is the number of tenants currently quarantined.
+	Quarantined int `json:"quarantined"`
 	// QueueLen and QueueCap describe the bounded input queue right now;
 	// Saturated flags a full queue (the backpressure condition).
 	QueueLen  int  `json:"queue_len"`
@@ -637,7 +643,8 @@ type ShardHealth struct {
 // /healthz.
 type Health struct {
 	// OK is true while the server accepts work: not closed and every
-	// shard goroutine alive.
+	// shard's goroutine alive (a shard that is restarting or dead takes
+	// the server out of OK until the supervisor brings it back).
 	OK     bool          `json:"ok"`
 	Closed bool          `json:"closed"`
 	Shards []ShardHealth `json:"shards"`
@@ -651,21 +658,24 @@ func (s *Server) Health() Health {
 	s.mu.RUnlock()
 	h := Health{OK: !closed, Closed: closed}
 	for _, sh := range s.shards {
-		alive := sh.alive.Load()
+		state := sh.curState()
 		sh.statMu.Lock()
 		tenants := sh.stats.Tenants
 		sh.statMu.Unlock()
 		qlen := len(sh.in)
 		shh := ShardHealth{
-			Shard:     sh.id,
-			Alive:     alive,
-			QueueLen:  qlen,
-			QueueCap:  cap(sh.in),
-			Saturated: qlen == cap(sh.in),
-			QueueHWM:  int(sh.hwm.Load()),
-			Tenants:   tenants,
+			Shard:       sh.id,
+			Alive:       state == ShardAlive,
+			State:       state.String(),
+			Restarts:    sh.restarts.Load(),
+			Quarantined: int(sh.quarantinedN.Load()),
+			QueueLen:    qlen,
+			QueueCap:    cap(sh.in),
+			Saturated:   qlen == cap(sh.in),
+			QueueHWM:    int(sh.hwm.Load()),
+			Tenants:     tenants,
 		}
-		if !alive {
+		if state != ShardAlive {
 			h.OK = false
 		}
 		h.Shards = append(h.Shards, shh)

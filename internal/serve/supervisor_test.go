@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"domino/internal/telemetry"
+)
+
+// sumCounter totals every counter whose name ends in suffix across the
+// registry — the per-shard fault counters, summed server-wide.
+func sumCounter(reg *telemetry.Registry, suffix string) int64 {
+	var total int64
+	for _, m := range reg.Snapshot() {
+		if m.Kind == "counter" && strings.HasSuffix(m.Name, suffix) && m.Value != nil {
+			total += *m.Value
+		}
+	}
+	return total
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// submitWait submits b and returns the reply.
+func submitWait(t *testing.T, s *Server, b Batch) Result {
+	t.Helper()
+	reply := make(chan Result, 1)
+	b.Reply = reply
+	if err := s.Submit(context.Background(), b); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	select {
+	case r := <-reply:
+		return r
+	case <-time.After(30 * time.Second):
+		t.Fatal("no reply within 30s")
+		return Result{}
+	}
+}
+
+// TestBatchPanicIsolation: a panic while processing one batch fails only
+// that batch — the shard goroutine recovers and keeps serving, the
+// error reaches the client through Reply, and the panics counter moves.
+func TestBatchPanicIsolation(t *testing.T) {
+	reg := telemetry.New()
+	ch := &Chaos{Seed: 1, PanicRate: 0.3}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	cfg.QuarantineAfter = -1 // isolate the behavior under test
+	cfg.Metrics = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	doomed := fatedAccesses(t, ch, "t0", fatePanic)
+	healthy := fatedAccesses(t, ch, "t0", fateNone)
+
+	r := submitWait(t, s, Batch{Tenant: "t0", Accesses: doomed})
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "chaos") {
+		t.Fatalf("panicking batch returned err %v, want injected panic error", r.Err)
+	}
+	if r.Accesses != 0 || r.Hits != 0 {
+		t.Fatalf("failed batch carries results: %+v", r)
+	}
+	// Same goroutine, same generation: the shard must still serve.
+	r = submitWait(t, s, Batch{Tenant: "t0", Accesses: healthy})
+	if r.Err != nil {
+		t.Fatalf("healthy batch after panic failed: %v", r.Err)
+	}
+	if r.Accesses != len(healthy) {
+		t.Fatalf("healthy batch processed %d accesses, want %d", r.Accesses, len(healthy))
+	}
+	h := s.Health()
+	if !h.OK {
+		t.Fatalf("health not OK after isolated panic: %+v", h)
+	}
+	sh := s.shardFor("t0")
+	if sh.restarts.Load() != 0 {
+		t.Fatalf("isolated panic caused %d restarts, want 0", sh.restarts.Load())
+	}
+	panics := sumCounter(reg, ".panics")
+	failures := sumCounter(reg, ".batch_failures")
+	if panics != 1 || failures != 1 {
+		t.Fatalf("panics=%d batch_failures=%d, want 1 and 1", panics, failures)
+	}
+	if st := s.Stats(); st.Failed != 1 {
+		t.Fatalf("Stats.Failed = %d, want 1", st.Failed)
+	}
+}
+
+// TestBuildErrorFailsBatchOnly pins the satellite fix: a session-build
+// failure answers the batch with an error (and a build_errors count)
+// instead of panicking the shard goroutine.
+func TestBuildErrorFailsBatchOnly(t *testing.T) {
+	reg := telemetry.New()
+	ch := &Chaos{Seed: 2, BuildFailRate: 0.5}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	cfg.QuarantineAfter = -1
+	cfg.Metrics = reg
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	bad := fatedTenant(t, ch, "bad", true)
+	good := fatedTenant(t, ch, "good", false)
+
+	r := submitWait(t, s, Batch{Tenant: bad, Accesses: collect(t, 100, 3)})
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "build failure") {
+		t.Fatalf("doomed build returned err %v, want injected build failure", r.Err)
+	}
+	r = submitWait(t, s, Batch{Tenant: good, Accesses: collect(t, 100, 3)})
+	if r.Err != nil {
+		t.Fatalf("good tenant after build failure: %v", r.Err)
+	}
+	if !s.Health().OK {
+		t.Fatal("health degraded by a build failure")
+	}
+	if builds := sumCounter(reg, ".build_errors"); builds != 1 {
+		t.Fatalf("build_errors = %d, want 1", builds)
+	}
+}
+
+// TestSupervisorRestartWalksHealthStates kills a shard goroutine via
+// chaos and watches Health walk alive → restarting → alive, with the
+// restart counted and the in-flight batch failed (not lost).
+func TestSupervisorRestartWalksHealthStates(t *testing.T) {
+	reg := telemetry.New()
+	ch := &Chaos{Seed: 3, KillRate: 0.05}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	cfg.Metrics = reg
+	cfg.RestartBackoff = 200 * time.Millisecond
+	cfg.RestartBackoffMax = 400 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	shardOf := func(tenant string) ShardHealth {
+		h := s.Health()
+		return h.Shards[s.shardFor(tenant).id]
+	}
+	if got := shardOf("t0"); got.State != "alive" || !got.Alive {
+		t.Fatalf("pre-kill state = %+v, want alive", got)
+	}
+
+	killer := fatedAccesses(t, ch, "t0", fateKill)
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t0", Accesses: killer, Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	r := <-reply
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "died") {
+		t.Fatalf("killed batch returned err %v, want shard-death error", r.Err)
+	}
+	// The backoff (200ms floor, jittered in [100ms, 200ms)) is wide
+	// enough to observe the intermediate state.
+	waitFor(t, 5*time.Second, "shard restarting", func() bool {
+		return shardOf("t0").State == "restarting"
+	})
+	if s.Health().OK {
+		t.Fatal("health OK while a shard is restarting")
+	}
+	waitFor(t, 5*time.Second, "shard alive again", func() bool {
+		sh := shardOf("t0")
+		return sh.State == "alive" && sh.Restarts == 1
+	})
+	waitFor(t, 5*time.Second, "health OK after restart", func() bool { return s.Health().OK })
+
+	// The replacement incarnation serves; tenants re-admit lazily.
+	healthy := fatedAccesses(t, ch, "t0", fateNone)
+	if r := submitWait(t, s, Batch{Tenant: "t0", Accesses: healthy}); r.Err != nil {
+		t.Fatalf("batch after restart failed: %v", r.Err)
+	}
+	if restarts := sumCounter(reg, ".restarts"); restarts != 1 {
+		t.Fatalf("restarts counter = %d, want 1", restarts)
+	}
+}
+
+// TestShardDeadAfterRestartBudget: with restarts disabled, a killed
+// shard goes permanently dead — queued batches are failed with
+// ErrShardDown, new submissions fast-fail, other shards keep serving,
+// and Drain still completes.
+func TestShardDeadAfterRestartBudget(t *testing.T) {
+	ch := &Chaos{Seed: 4, KillRate: 0.05}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	cfg.MaxRestarts = -1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	victim := "t0"
+	other := fatedTenant(t, ch, "other", false)
+	for s.shardFor(other).id == s.shardFor(victim).id {
+		other = fatedTenant(t, ch, other+"x", false)
+	}
+
+	killer := fatedAccesses(t, ch, victim, fateKill)
+	healthy := fatedAccesses(t, ch, victim, fateNone)
+
+	// Queue the kill plus followers in one burst; the followers must be
+	// answered (ErrShardDown), not stranded.
+	killReply := make(chan Result, 1)
+	follow := make(chan Result, 3)
+	if err := s.Submit(context.Background(), Batch{Tenant: victim, Accesses: killer, Reply: killReply}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Submit(context.Background(), Batch{Tenant: victim, Accesses: healthy, Reply: follow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := <-killReply; r.Err == nil {
+		t.Fatal("killed batch returned nil error")
+	}
+	for i := 0; i < 3; i++ {
+		r := <-follow
+		if !errors.Is(r.Err, ErrShardDown) {
+			t.Fatalf("queued batch %d after death: err = %v, want ErrShardDown", i, r.Err)
+		}
+	}
+	waitFor(t, 5*time.Second, "shard dead", func() bool {
+		return s.Health().Shards[s.shardFor(victim).id].State == "dead"
+	})
+	if s.Health().OK {
+		t.Fatal("health OK with a dead shard")
+	}
+	if err := s.Submit(context.Background(), Batch{Tenant: victim, Accesses: healthy}); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("Submit to dead shard: %v, want ErrShardDown", err)
+	}
+	if err := s.TrySubmit(Batch{Tenant: victim, Accesses: healthy}); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("TrySubmit to dead shard: %v, want ErrShardDown", err)
+	}
+
+	// The sibling shard is unaffected.
+	if r := submitWait(t, s, Batch{Tenant: other, Accesses: fatedAccesses(t, ch, other, fateNone)}); r.Err != nil {
+		t.Fatalf("sibling shard degraded: %v", r.Err)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain with a dead shard: %v", err)
+	}
+}
+
+// TestWatchdogReplacesStuckShard arms BatchDeadline against a chaos
+// stall: the stuck goroutine is abandoned and replaced, the stall is
+// counted, and the abandoned incarnation's late reply still arrives.
+func TestWatchdogReplacesStuckShard(t *testing.T) {
+	reg := telemetry.New()
+	stall := make(chan struct{})
+	ch := &Chaos{Seed: 5, SlowRate: 0.3, stallC: stall}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	cfg.Metrics = reg
+	cfg.BatchDeadline = 25 * time.Millisecond
+	cfg.RestartBackoff = time.Millisecond
+	cfg.RestartBackoffMax = 10 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	slow := fatedAccesses(t, ch, "t0", fateSlow)
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t0", Accesses: slow, Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.shardFor("t0")
+	waitFor(t, 10*time.Second, "watchdog replacement", func() bool {
+		return sh.restarts.Load() >= 1
+	})
+	select {
+	case <-reply:
+		t.Fatal("stalled batch replied before unblocking")
+	default:
+	}
+	waitFor(t, 5*time.Second, "replacement alive", func() bool {
+		return s.Health().Shards[sh.id].State == "alive"
+	})
+
+	// Unblock the zombie: it replies (late, and successfully — the stall
+	// was before processing) and exits on the generation check.
+	close(stall)
+	select {
+	case r := <-reply:
+		if r.Err != nil {
+			t.Fatalf("late reply carries error: %v", r.Err)
+		}
+		if r.Accesses != len(slow) {
+			t.Fatalf("late reply processed %d accesses, want %d", r.Accesses, len(slow))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unblocked zombie never replied")
+	}
+
+	// The replacement serves; further "slow" batches are instant now
+	// that the stall channel is closed.
+	if r := submitWait(t, s, Batch{Tenant: "t0", Accesses: slow}); r.Err != nil {
+		t.Fatalf("batch after watchdog replacement failed: %v", r.Err)
+	}
+	if stalls := sumCounter(reg, ".stalls"); stalls < 1 {
+		t.Fatalf("stalls counter = %d, want >= 1", stalls)
+	}
+}
+
+// TestDrainWithCancelledContext: Drain under an already-cancelled
+// context returns the context error immediately while a batch is still
+// stuck, keeps draining in the background, and a second Drain completes
+// once the batch unblocks.
+func TestDrainWithCancelledContext(t *testing.T) {
+	stall := make(chan struct{})
+	ch := &Chaos{Seed: 6, SlowRate: 0.3, stallC: stall}
+	cfg := testConfig()
+	cfg.Chaos = ch
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	slow := fatedAccesses(t, ch, "t0", fateSlow)
+	reply := make(chan Result, 1)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t0", Accesses: slow, Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain(cancelled ctx) = %v, want context.Canceled", err)
+	}
+	// The server is closed even though the drain deadline passed.
+	if err := s.Submit(context.Background(), Batch{Tenant: "t0"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after timed-out Drain: %v, want ErrClosed", err)
+	}
+	close(stall)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+	if r := <-reply; r.Err != nil {
+		t.Fatalf("stalled batch failed: %v", r.Err)
+	}
+	h := s.Health()
+	if h.OK || !h.Closed {
+		t.Fatalf("post-drain health = %+v, want closed", h)
+	}
+}
+
+// TestSubmitRacingDrain hammers Submit/TrySubmit from many goroutines
+// while Drain closes the shard channels. The closed-flag lock must make
+// this safe (no send-on-closed-channel panic); every submitter ends on
+// ErrClosed and every accepted batch is answered.
+func TestSubmitRacingDrain(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	var accepted, answered atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	accesses := collect(t, 64, 7)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := []string{"a", "b", "c", "d"}[g%4]
+			reply := make(chan Result, 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				b := Batch{Tenant: tenant, Accesses: accesses, Reply: reply}
+				if g%2 == 0 {
+					err = s.TrySubmit(b)
+				} else {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+					err = s.Submit(ctx, b)
+					cancel()
+				}
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					<-reply
+					answered.Add(1)
+				case errors.Is(err, ErrClosed):
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if accepted.Load() == 0 {
+		t.Fatal("no batch was accepted before drain")
+	}
+	if accepted.Load() != answered.Load() {
+		t.Fatalf("accepted %d batches but %d were answered", accepted.Load(), answered.Load())
+	}
+}

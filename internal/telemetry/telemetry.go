@@ -57,6 +57,15 @@ func (g *Gauge) Set(n int64) {
 	}
 }
 
+// Add moves the gauge by delta. Useful for gauges that track a
+// population (connections, quarantined tenants) rather than a sampled
+// level.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // Value returns the last value set (0 for a nil gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {

@@ -33,6 +33,7 @@ func TestNilMetricsAreNoOps(t *testing.T) {
 	var r *Registry
 	r.Counter("x").Inc()
 	r.Gauge("y").Set(1)
+	r.Gauge("y").Add(1)
 	r.Timer("z").Observe(1)
 	if r.Snapshot() != nil {
 		t.Fatal("nil registry has a snapshot")
@@ -61,6 +62,29 @@ func TestCounterConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Value() != 8000 {
 		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := &Gauge{}
+	g.Set(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			delta := int64(1)
+			if i%2 == 1 {
+				delta = -1
+			}
+			for j := 0; j < 1000; j++ {
+				g.Add(delta)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Value() != 100 {
+		t.Fatalf("Value = %d, want 100 (adds must balance)", g.Value())
 	}
 }
 
