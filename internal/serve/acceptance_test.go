@@ -85,9 +85,13 @@ func TestChaosKillShardRecoveryUnderLoad(t *testing.T) {
 
 	ctx := context.Background()
 	var wg sync.WaitGroup
-	gotAccesses := make(map[string]*atomic.Int64)
+	// Fully populated before any worker goroutine starts, so the workers
+	// only ever read the map (their writes go through the atomics).
+	gotAccesses := make(map[string]*atomic.Int64, len(good))
 	for _, tn := range good {
 		gotAccesses[tn] = &atomic.Int64{}
+	}
+	for _, tn := range good {
 		wg.Add(1)
 		go func(tn string) {
 			defer wg.Done()

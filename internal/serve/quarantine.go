@@ -51,8 +51,10 @@ func (st *shardState) admit(sh *shard, tenant string) error {
 	q.until = time.Time{}
 	q.faults = 0
 	sh.readmittedC.Inc()
-	sh.quarantinedN.Add(-1)
-	sh.quarG.Add(-1)
+	if st.current(sh) {
+		sh.quarantinedN.Add(-1)
+		sh.quarG.Add(-1)
+	}
 	return nil
 }
 
@@ -89,25 +91,42 @@ func (st *shardState) recordFault(sh *shard, tenant string) {
 	// rebuilds it from scratch on re-admission.
 	if _, live := st.tenants[tenant]; live {
 		delete(st.tenants, tenant)
-		sh.tenantsG.Set(int64(len(st.tenants)))
 	}
 	sh.quarantinedC.Inc()
-	sh.quarantinedN.Add(1)
-	sh.quarG.Add(1)
+	if st.current(sh) {
+		sh.tenantsG.Set(int64(len(st.tenants)))
+		sh.quarantinedN.Add(1)
+		sh.quarG.Add(1)
+	}
 }
 
 // pruneQuar bounds the fault-history map. Entries that are neither
 // quarantined nor mid-window are pure history and safe to forget; they
 // only existed to catch slow-burn offenders, and an unbounded tenant
-// namespace must not grow shard memory without bound.
+// namespace must not grow shard memory without bound. A quarantined
+// entry whose deadline is a full window past is forgotten too — lazy
+// re-admission only clears it if the tenant ever resubmits, and a
+// rotating poison namespace (each tenant faults K times, then vanishes)
+// would otherwise grow the map forever. Forgetting it counts the tenant
+// out of the quarantined gauges: its sentence lapsed, it just never
+// showed up to be re-admitted (so no readmitted count either).
 func (st *shardState) pruneQuar(sh *shard) {
 	if len(st.quar) <= 4*sh.cfg.MaxTenantsPerShard {
 		return
 	}
 	now := sh.cfg.now()
 	for name, q := range st.quar {
-		if q.until.IsZero() && now.Sub(q.windowStart) > sh.cfg.QuarantineWindow {
+		switch {
+		case q.until.IsZero():
+			if now.Sub(q.windowStart) > sh.cfg.QuarantineWindow {
+				delete(st.quar, name)
+			}
+		case now.Sub(q.until) > sh.cfg.QuarantineWindow:
 			delete(st.quar, name)
+			if st.current(sh) {
+				sh.quarantinedN.Add(-1)
+				sh.quarG.Add(-1)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -151,6 +152,48 @@ func TestQuarantineWindowExpiry(t *testing.T) {
 	}
 	if r := submit(); !errors.Is(r.Err, ErrQuarantined) {
 		t.Fatalf("after in-window burst: err = %v, want ErrQuarantined", r.Err)
+	}
+}
+
+// TestPruneExpiredQuarantines: a rotating poison-tenant namespace —
+// each tenant faults into quarantine and never returns — must not grow
+// the fault-history map or the quarantined gauges without bound. Once a
+// quarantine deadline is a full window past, pruning forgets the
+// no-show and counts it out of the gauges (without a readmitted count:
+// the tenant never came back).
+func TestPruneExpiredQuarantines(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.MaxTenantsPerShard = 1 // prune threshold: > 4 history entries
+	cfg.QuarantineAfter = 1
+	cfg.QuarantineWindow = 100 * time.Millisecond
+	cfg.QuarantineBackoff = 100 * time.Millisecond
+	s, ch, _, _ := quarServer(t, clock, cfg)
+	defer s.Drain(context.Background())
+
+	accesses := collect(t, 20, 9)
+	poison := func(i int) string { return fatedTenant(t, ch, fmt.Sprintf("rot-%d", i), true) }
+	quarantined := func() int { return s.Health().Shards[0].Quarantined }
+
+	// Five tenants fault straight into quarantine and vanish.
+	for i := 0; i < 5; i++ {
+		if r := submitWait(t, s, Batch{Tenant: poison(i), Accesses: accesses}); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+			t.Fatalf("tenant %d: err = %v, want build failure", i, r.Err)
+		}
+	}
+	if q := quarantined(); q != 5 {
+		t.Fatalf("quarantined = %d, want 5", q)
+	}
+	// Their sentences lapse (deadline plus a full window) unobserved.
+	// The next unseen tenant's fault triggers the prune: the five
+	// no-shows are forgotten, leaving only the new offender counted.
+	clock.advance(time.Second)
+	if r := submitWait(t, s, Batch{Tenant: poison(5), Accesses: accesses}); r.Err == nil || errors.Is(r.Err, ErrQuarantined) {
+		t.Fatalf("tenant 5: err = %v, want build failure", r.Err)
+	}
+	if q := quarantined(); q != 1 {
+		t.Fatalf("quarantined = %d after prune, want 1 (expired entries kept)", q)
 	}
 }
 

@@ -68,6 +68,7 @@ func (s ShardState) String() string {
 // their metadata) are rebuilt lazily as tenants resubmit, which is what
 // keeps a crashed shard from replaying whatever state poisoned it.
 type shardState struct {
+	gen     uint64 // incarnation that owns this state
 	tenants map[string]*tenantSession
 	clock   uint64
 	classes map[string]*classCounters // per-class counter cache
@@ -75,12 +76,23 @@ type shardState struct {
 	quar    map[string]*quarState     // per-tenant fault history
 }
 
-func newShardState(cfg Config) *shardState {
+func newShardState(cfg Config, gen uint64) *shardState {
 	return &shardState{
+		gen:     gen,
 		tenants: make(map[string]*tenantSession, cfg.MaxTenantsPerShard),
 		classes: make(map[string]*classCounters),
 		quar:    make(map[string]*quarState),
 	}
+}
+
+// current reports whether this incarnation still owns the shard. A
+// watchdog-abandoned incarnation finishing its stuck batch must not
+// touch the per-incarnation gauges (quarantined, live tenants) that the
+// supervisor reset and handed to the replacement — Health would drift
+// or go negative. Monotonic counters are exempt: late accounting of a
+// real event is fine, a stale gauge is not.
+func (st *shardState) current(sh *shard) bool {
+	return sh.gen.Load() == st.gen
 }
 
 // runExit is how an incarnation reports its end to the supervisor.
@@ -104,8 +116,8 @@ func (s *Server) supervise(sh *shard) {
 	defer s.wg.Done()
 	backoff := sh.cfg.RestartBackoff
 	burst := 0 // restarts within the current crash burst
+	gen := sh.gen.Add(1)
 	for {
-		gen := sh.gen.Add(1)
 		// A fresh incarnation starts with no quarantined tenants.
 		sh.quarantinedN.Store(0)
 		sh.quarG.Set(0)
@@ -119,6 +131,12 @@ func (s *Server) supervise(sh *shard) {
 			sh.queueDepth.Set(0)
 			return
 		}
+		// Supersede the failed incarnation now, before the backoff sleep:
+		// a watchdog-abandoned goroutine that unblocks during the sleep
+		// must see the new generation after its current batch and exit,
+		// rather than keep draining the queue concurrently with the
+		// replacement. The replacement reads this pre-assigned gen.
+		gen = sh.gen.Add(1)
 		if sh.cfg.now().Sub(up) > sh.cfg.RestartBackoffMax {
 			// The incarnation was stable before this fault: new burst,
 			// fresh backoff and restart budget.
@@ -172,7 +190,7 @@ func (sh *shard) watch(gen uint64, done <-chan runExit) runExit {
 // in order. A panic that escapes batch isolation fails the in-flight
 // batch and reports exitPanic; the supervisor decides what happens next.
 func (sh *shard) runGen(gen uint64, done chan<- runExit) {
-	st := newShardState(sh.cfg)
+	st := newShardState(sh.cfg, gen)
 	var cur *Batch
 	defer func() {
 		if r := recover(); r != nil {
@@ -369,7 +387,9 @@ func (st *shardState) session(sh *shard, tenant string) (*tenantSession, error) 
 			t.class = sh.cfg.TenantClass(tenant)
 		}
 		st.tenants[tenant] = t
-		sh.tenantsG.Set(int64(len(st.tenants)))
+		if st.current(sh) {
+			sh.tenantsG.Set(int64(len(st.tenants)))
+		}
 	}
 	t.seen = st.clock
 	return t, nil
