@@ -34,6 +34,25 @@
 // triggered/hit, prefetch count, shard queue wait) for post-hoc
 // analysis; -trace-sample picks every Nth access.
 //
+// Overload governance: -governed (or any of -tenant-rate /
+// -queue-target, which imply it) arms the serving layer's admission
+// control and per-tenant fair scheduling — past -high-watermark of a
+// shard's capacity submissions fast-reject with ErrOverloaded, and
+// batches queued past -queue-target are shed with ErrShed. -mem-budget
+// caps session metadata bytes across the server: past it the coldest
+// tenants are evicted and shards brown out (smaller tables via
+// -brownout-scale, sampled training via -brownout-sample) instead of
+// OOMing. The clients cooperate through a per-client circuit breaker
+// (-breaker-threshold consecutive overload signals open it for a
+// jittered, doubling -breaker-cooldown; the first batch after the
+// cooldown is the half-open probe). -burst-busy/-burst-idle shape the
+// offered load into on/off bursts to drive the governor through its
+// states. Shed batches count into failed_batches= and
+// client.batch_errors; fast-rejected batches are dropped client-side
+// and counted in client.overload_drops. All of it exits 0 — degrading
+// predictably under overload is the point, so none of these states is
+// an error.
+//
 // Self-healing drills: the -chaos-* flags arm the serving layer's
 // deterministic fault injector (batch panics, shard-goroutine kills,
 // slow batches, session-build failures) so the supervisor, quarantine
@@ -116,6 +135,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		chaosSlow      = fs.Float64("chaos-slow", 0, "chaos: fraction of batches delayed by -chaos-slow-for")
 		chaosSlowFor   = fs.Duration("chaos-slow-for", 50*time.Millisecond, "chaos: how long a slow batch stalls")
 		chaosBuildFail = fs.Float64("chaos-build-fail", 0, "chaos: fraction of tenants whose session build fails")
+
+		governed       = fs.Bool("governed", false, "enable overload governance: fair scheduling, watermark admission control, deadline shedding (implied by -tenant-rate or -queue-target)")
+		tenantRate     = fs.Float64("tenant-rate", 0, "per-tenant sustained budget in accesses/sec for the scheduler's token buckets (0 = fair scheduling without rate limits)")
+		tenantBurst    = fs.Float64("tenant-burst", 0, "token-bucket capacity in accesses (0 = one second of -tenant-rate)")
+		queueTarget    = fs.Duration("queue-target", 0, "queue sojourn deadline: governed shards shed batches that waited longer (0 = serve default 100ms, negative disables shedding)")
+		highWatermark  = fs.Float64("high-watermark", 0, "fraction of shard capacity at which /healthz reports saturation and governed shards fast-reject (0 = serve default 0.75)")
+		memBudget      = fs.Int64("mem-budget", 0, "session metadata budget in bytes across the server; past it coldest tenants are evicted and shards brown out (0 = off)")
+		brownoutScale  = fs.Int("brownout-scale", 0, "scale multiplier for sessions built during brownout (0 = serve default 8)")
+		brownoutSample = fs.Int("brownout-sample", 0, "train every Nth access while a shard is in brownout (0 = serve default 2, 1 disables sampling)")
+
+		breakerThreshold = fs.Int("breaker-threshold", 5, "client circuit breaker: consecutive overload signals (ErrOverloaded, ErrShed) before it opens (0 = breaker off)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 50*time.Millisecond, "client circuit breaker: initial open period; doubles per consecutive trip, jittered")
+		burstBusy        = fs.Duration("burst-busy", 0, "bursty load shape: each client submits for this long per cycle (0 = continuous)")
+		burstIdle        = fs.Duration("burst-idle", 0, "bursty load shape: then idles for this long per cycle (0 = continuous)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -151,6 +184,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	case *chaosSlowFor < 0:
 		fmt.Fprintf(stderr, "dominoserve: invalid -chaos-slow-for %s: must be >= 0\n", *chaosSlowFor)
+		return 2
+	case *tenantRate < 0 || *tenantBurst < 0:
+		fmt.Fprintf(stderr, "dominoserve: -tenant-rate and -tenant-burst must be >= 0\n")
+		return 2
+	case *highWatermark < 0 || *highWatermark > 1:
+		fmt.Fprintf(stderr, "dominoserve: invalid -high-watermark %g: must be in [0, 1] (0 = default)\n", *highWatermark)
+		return 2
+	case *memBudget < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -mem-budget %d: must be >= 0\n", *memBudget)
+		return 2
+	case *brownoutScale < 0 || *brownoutSample < 0:
+		fmt.Fprintf(stderr, "dominoserve: -brownout-scale and -brownout-sample must be >= 0 (0 = default)\n")
+		return 2
+	case *breakerThreshold < 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -breaker-threshold %d: must be >= 0 (0 = off)\n", *breakerThreshold)
+		return 2
+	case *breakerThreshold > 0 && *breakerCooldown <= 0:
+		fmt.Fprintf(stderr, "dominoserve: invalid -breaker-cooldown %s: must be > 0\n", *breakerCooldown)
+		return 2
+	case *burstBusy < 0 || *burstIdle < 0:
+		fmt.Fprintf(stderr, "dominoserve: -burst-busy and -burst-idle must be >= 0\n")
+		return 2
+	case *burstIdle > 0 && *burstBusy <= 0:
+		fmt.Fprintf(stderr, "dominoserve: -burst-idle needs -burst-busy > 0 (clients would never submit)\n")
 		return 2
 	}
 	for _, rate := range []struct {
@@ -191,7 +248,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		BatchDeadline:      *batchDeadline,
 		RestartBackoff:     *restartBackoff,
 		RestartBackoffMax:  *restartBackMax,
+		HighWatermark:      *highWatermark,
+		MemoryBudget:       *memBudget,
+		BrownoutScale:      *brownoutScale,
+		BrownoutSample:     *brownoutSample,
 		Metrics:            reg,
+	}
+	if *governed || *tenantRate > 0 || *queueTarget != 0 {
+		cfg.Overload = &serve.OverloadConfig{
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+			QueueTarget: *queueTarget,
+		}
 	}
 	if *chaosPanic > 0 || *chaosKill > 0 || *chaosSlow > 0 || *chaosBuildFail > 0 {
 		cfg.Chaos = &serve.Chaos{
@@ -289,6 +357,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	)
 	submitRetries := reg.Counter("client.submit_retries")
 	batchErrors := reg.Counter("client.batch_errors")
+	breakerTrips := reg.Counter("client.breaker_trips")
+	overloadDrops := reg.Counter("client.overload_drops")
+	burstCycle := *burstBusy + *burstIdle
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -301,10 +372,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			reply := make(chan serve.Result, 1)
 			tenant := fmt.Sprintf("tenant-%d", c)
 			rng := rand.New(rand.NewSource(int64(c + 1)))
+			var br *breaker
+			if *breakerThreshold > 0 {
+				br = &breaker{threshold: *breakerThreshold, cooldown: *breakerCooldown, rng: rng, trips: breakerTrips}
+			}
 			var sent int64
 			for perClient == 0 || sent < perClient {
 				if ctx.Err() != nil {
 					return
+				}
+				// Bursty load shape: submit only during the busy phase of
+				// each cycle, sleep out the idle phase.
+				if *burstIdle > 0 {
+					if off := time.Since(start) % burstCycle; off >= *burstBusy {
+						if !sleepCtx(ctx, burstCycle-off) {
+							return
+						}
+						continue
+					}
+				}
+				// Circuit breaker gate: while open, wait out the cooldown;
+				// the first batch submitted after it is the half-open probe.
+				if wait := br.openFor(time.Now()); wait > 0 {
+					if !sleepCtx(ctx, wait) {
+						return
+					}
 				}
 				n := int64(*batch)
 				if perClient > 0 && perClient-sent < n {
@@ -316,6 +408,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				t0 := time.Now()
 				err := submit(ctx, srv, serve.Batch{Tenant: tenant, Accesses: buf[:n], Reply: reply}, rng, submitRetries)
 				if err != nil {
+					if errors.Is(err, serve.ErrOverloaded) {
+						// Fast-rejected at the high watermark: drop the
+						// batch client-side, feed the breaker, keep
+						// streaming. The accesses are lost on purpose —
+						// resubmitting into an overloaded shard is how
+						// retry storms start.
+						overloadDrops.Inc()
+						br.failure(time.Now())
+						sent += n
+						continue
+					}
 					// Cancellation mid-submit is the normal signal path;
 					// anything else is a real failure.
 					if !errors.Is(err, context.Canceled) && !errors.Is(err, serve.ErrClosed) {
@@ -330,7 +433,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				select {
 				case r := <-reply:
 					batchLat.Observe(time.Since(t0))
-					if r.Err != nil {
+					switch {
+					case r.Err == nil:
+						br.success()
+					case errors.Is(r.Err, serve.ErrShed):
+						// Shed past the queue deadline: an overload signal
+						// for the breaker as well as a failed batch.
+						batchErrors.Inc()
+						br.failure(time.Now())
+					default:
 						// A failed batch (isolated panic, quarantine
 						// rejection, shard death) is the service degrading
 						// as designed; count it and keep streaming.
@@ -426,6 +537,81 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dominoserve: wrote %d trace events to %s\n", traceSink.Count(), *tracePath)
 	}
 	return code
+}
+
+// breaker is the client-side half of overload cooperation: after
+// threshold consecutive overload signals (ErrOverloaded fast-rejects,
+// ErrShed replies) it opens, and the client sits out a jittered
+// cooldown instead of hammering a saturated shard. Each consecutive
+// trip doubles the cooldown (capped at 64× the base); the first batch
+// after the cooldown is the half-open probe — one more overload signal
+// re-opens the breaker immediately, one success closes it and resets
+// the backoff. A nil breaker is off: every method no-ops.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	rng       *rand.Rand
+	trips     *telemetry.Counter
+
+	fails     int // consecutive overload signals since the last success
+	reopens   int // consecutive trips; doubles the cooldown
+	openUntil time.Time
+}
+
+// openFor reports how much longer the breaker is open (0 = closed, or
+// half-open with the cooldown served).
+func (b *breaker) openFor(now time.Time) time.Duration {
+	if b == nil || !now.Before(b.openUntil) {
+		return 0
+	}
+	return b.openUntil.Sub(now)
+}
+
+// failure records one overload signal, opening the breaker at the
+// threshold — or immediately when half-open: a failed probe means the
+// overload has not cleared.
+func (b *breaker) failure(now time.Time) {
+	if b == nil {
+		return
+	}
+	b.fails++
+	need := b.threshold
+	if b.reopens > 0 {
+		need = 1
+	}
+	if b.fails < need {
+		return
+	}
+	d := b.cooldown << uint(min(b.reopens, 6))
+	// Jitter in [d/2, d]: breakers tripped by the same overload event
+	// come back to probe spread out, not in lockstep.
+	d = d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.openUntil = now.Add(d)
+	b.reopens++
+	b.fails = 0
+	b.trips.Inc()
+}
+
+// success closes the breaker and resets the backoff.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.fails, b.reopens = 0, 0
+	b.openUntil = time.Time{}
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // submit delivers one batch: bounded TrySubmit retries with exponential

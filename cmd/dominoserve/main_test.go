@@ -3,7 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +15,11 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"domino/internal/config"
+	"domino/internal/metamem"
+	"domino/internal/serve"
+	"domino/internal/telemetry"
 )
 
 func TestUsageErrors(t *testing.T) {
@@ -289,5 +297,142 @@ func TestPeriodicMetricsSnapshots(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "serve.shard0.accesses") {
 		t.Fatalf("final snapshot missing shard counters: %.200s", data)
+	}
+}
+
+func TestGovernanceUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-tenant-rate", "-1"},
+		{"-tenant-burst", "-5"},
+		{"-high-watermark", "1.5"},
+		{"-high-watermark", "-0.1"},
+		{"-mem-budget", "-1"},
+		{"-brownout-scale", "-1"},
+		{"-brownout-sample", "-2"},
+		{"-breaker-threshold", "-1"},
+		{"-breaker-threshold", "3", "-breaker-cooldown", "0s"},
+		{"-burst-busy", "-1s"},
+		{"-burst-idle", "100ms"}, // idle without busy never submits
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestSubmitLadderCtxCancel pins the retry ladder's cancellation path:
+// against a full shard that is never drained, a context cancelled
+// mid-backoff must surface promptly as the context's error — not hang
+// in the blocking Submit, not spin on TrySubmit — after at least one
+// counted retry.
+func TestSubmitLadderCtxCancel(t *testing.T) {
+	srv, err := serve.New(serve.Config{Shards: 1, QueueDepth: 1, Prefetcher: "domino", Scale: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unstarted server: the one queue slot fills and stays full.
+	if err := srv.TrySubmit(serve.Batch{Tenant: "plug"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	retries := telemetry.New().Counter("retries")
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	err = submit(ctx, srv, serve.Batch{Tenant: "t"}, rng, retries)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit against full shard with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("submit took %s to notice cancellation", elapsed)
+	}
+	if retries.Value() < 1 {
+		t.Fatalf("retries = %d, want >= 1 before cancellation", retries.Value())
+	}
+}
+
+// TestStdoutDeterminismWithGovernance extends the determinism guard to
+// PR 9's surface: (a) governance-off flags that merely tune reporting
+// (watermark, breaker) must not change the summary at all, and (b) an
+// uncontended governed run — fair scheduling on, shedding disabled,
+// watermark unreachable — must produce the same access totals, since
+// per-tenant session state only depends on that tenant's own access
+// order.
+func TestStdoutDeterminismWithGovernance(t *testing.T) {
+	base := []string{"-accesses", "20000", "-clients", "4", "-shards", "2", "-batch", "100", "-scale", "64"}
+	do := func(extra ...string) []string {
+		var out, errb strings.Builder
+		if code := run(context.Background(), append(append([]string{}, base...), extra...), &out, &errb); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", extra, code, errb.String())
+		}
+		return strings.Split(out.String(), "\n")
+	}
+
+	plain := do()
+	tuned := do("-high-watermark", "0.9", "-breaker-threshold", "0")
+	governed := do("-governed", "-queue-target", "-1s")
+	for i := 0; i < 2; i++ {
+		if plain[i] != tuned[i] {
+			t.Fatalf("stdout line %d differs with governance-off tuning flags:\n%q\n%q", i+1, plain[i], tuned[i])
+		}
+		if plain[i] != governed[i] {
+			t.Fatalf("stdout line %d differs with uncontended governance:\n%q\n%q", i+1, plain[i], governed[i])
+		}
+	}
+}
+
+// TestGovernedRunUnderBudgetPressure drives the full governed binary
+// into brownout and budget eviction: one shard, a memory budget sized
+// for one full session plus two brownout sessions, four tenants. The
+// run must survive (exit 0), and the metrics dump must show the
+// governor actually engaging.
+func TestGovernedRunUnderBudgetPressure(t *testing.T) {
+	full := int64(metamem.NewLayout(0, config.ScaledDomino(64)).TotalBytes())
+	brown := int64(metamem.NewLayout(0, config.ScaledDomino(64*8)).TotalBytes())
+	budget := full + 2*brown
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var out, errb strings.Builder
+	args := []string{"-accesses", "8000", "-clients", "4", "-shards", "1", "-batch", "100", "-scale", "64",
+		"-governed", "-mem-budget", fmt.Sprint(budget), "-metrics", path}
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
+		t.Fatalf("governed run = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "accesses=8000 ") {
+		t.Fatalf("governed run lost accesses:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string `json:"name"`
+			Value *int64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, m := range doc.Metrics {
+		if m.Value != nil {
+			counters[m.Name] = *m.Value
+		}
+	}
+	if counters["serve.shard0.brownout"] < 1 {
+		t.Fatalf("brownout never entered under a %d-byte budget: %v", budget, counters)
+	}
+	if counters["serve.shard0.budget_evictions"] < 1 {
+		t.Fatalf("budget never evicted with 4 tenants over a 1-full+2-brown budget: %v", counters)
+	}
+	if got := counters["serve.shard0.tenant_bytes"]; got <= 0 || got > budget {
+		t.Fatalf("tenant_bytes = %d, want in (0, %d]", got, budget)
 	}
 }

@@ -18,9 +18,12 @@ import (
 //	/metrics      Prometheus text exposition of the registry
 //	/varz         JSON snapshot plus interval deltas: per-counter rates
 //	              since the previous /varz scrape
-//	/healthz      200 with a JSON body while every shard is alive and the
-//	              server accepts work; 503 otherwise. The body reports
-//	              per-shard queue occupancy and saturation.
+//	/healthz      200 with a JSON body while every shard is alive, the
+//	              server accepts work, and no shard is shedding at its
+//	              high watermark; 503 otherwise. The body reports
+//	              per-shard queue occupancy, saturation, and overload
+//	              state ("ok"/"brownout"/"shedding" — brownout alone
+//	              stays 200: the server is degrading to keep serving).
 //	/debug/pprof  the standard runtime profiles
 //
 // Admin never touches the serving hot path: every handler reads atomic
@@ -111,8 +114,18 @@ func (a *Admin) handleVarz(w http.ResponseWriter, r *http.Request) {
 
 func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := a.srv.Health()
+	// Shedding turns the probe red: load balancers should route around a
+	// shard fast-rejecting at the watermark. Brownout does not — the
+	// server is degrading quality precisely so it can keep taking work.
+	shedding := false
+	for _, sh := range h.Shards {
+		if sh.Overload == "shedding" {
+			shedding = true
+			break
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if !h.OK {
+	if !h.OK || shedding {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	enc := json.NewEncoder(w)

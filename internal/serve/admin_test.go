@@ -166,3 +166,63 @@ func TestAdminPprofIndex(t *testing.T) {
 		t.Fatalf("/debug/pprof/ = %d: %.120s", rec.Code, rec.Body.String())
 	}
 }
+
+// TestAdminEvictionTelemetry pins the eviction surface end to end: LRU
+// evictions show up as serve_evictions{shard="N"} in /metrics, as a
+// positive rate in /varz between scrapes, and the tenants gauge
+// reflects the live count.
+func TestAdminEvictionTelemetry(t *testing.T) {
+	cfg := Config{Shards: 1, QueueDepth: 8, MaxTenantsPerShard: 2, Prefetcher: "domino", Scale: 64, Metrics: telemetry.New()}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	a := NewAdmin(s, cfg.Metrics)
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	submit := func(tenant string, seed int64) {
+		t.Helper()
+		reply := make(chan Result, 1)
+		if err := s.Submit(context.Background(), Batch{Tenant: tenant, Accesses: collect(t, 100, seed), Reply: reply}); err != nil {
+			t.Fatal(err)
+		}
+		if r := <-reply; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	// Fill the 2-tenant cap, scrape a baseline, then force 2 evictions.
+	submit("a", 1)
+	submit("b", 2)
+	get("/varz")
+	submit("c", 3)
+	submit("d", 4)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if out := get("/metrics").Body.String(); !regexp.MustCompile(`(?m)^serve_evictions\{shard="0"\} 2$`).MatchString(out) {
+		t.Fatalf("/metrics missing serve_evictions{shard=\"0\"} 2:\n%s", out)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(get("/varz").Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	rates, ok := doc["rates"].(map[string]any)
+	if !ok {
+		t.Fatalf("second /varz scrape has no rates: %v", doc)
+	}
+	if v, ok := rates["serve.shard0.evictions"].(float64); !ok || v <= 0 {
+		t.Fatalf("eviction rate between scrapes = %v, want > 0 (rates: %v)", rates["serve.shard0.evictions"], rates)
+	}
+	if g := gaugeValue(cfg.Metrics, "serve.shard0.tenants"); g != 2 {
+		t.Fatalf("tenants gauge = %d, want 2 after evictions", g)
+	}
+	if st := s.Stats().Shards[0]; st.Evicted != 2 {
+		t.Fatalf("stats.Evicted = %d, want 2", st.Evicted)
+	}
+}

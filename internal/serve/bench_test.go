@@ -31,6 +31,28 @@ func BenchmarkServeThroughputTelemetry(b *testing.B) {
 	benchServe(b, Config{Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64, Metrics: telemetry.New()})
 }
 
+// BenchmarkServeThroughputGoverned is the same workload with the full
+// overload-governance stack armed but uncontended: fair scheduler and
+// token buckets on (rates far above the offered load), shedding armed
+// with an unreachable deadline, watermark admission accounting on every
+// submit, and the memory budget governor accounting session bytes
+// (budget far above use). The benchdiff gate holds it next to the
+// ungoverned path, so the steady-state cost of governance — the price
+// every governed deployment pays when nothing is overloaded — stays
+// visible and bounded.
+func BenchmarkServeThroughputGoverned(b *testing.B) {
+	benchServe(b, Config{
+		Shards: 4, QueueDepth: 64, Prefetcher: "domino", Scale: 64,
+		Metrics:      telemetry.New(),
+		MemoryBudget: 1 << 40,
+		Overload: &OverloadConfig{
+			TenantRate:  1e12,
+			TenantBurst: 1e12,
+			QueueTarget: time.Hour,
+		},
+	})
+}
+
 func benchServe(b *testing.B, cfg Config) {
 	const (
 		clients   = 4

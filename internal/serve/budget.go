@@ -1,0 +1,125 @@
+// Memory budget governor: the serving layer's answer to "what happens
+// when tenant metadata outgrows the machine". Session metadata is the
+// only unbounded-in-tenants memory the server holds, and its size is
+// exactly known — the paper's EIT+HT layout at the configured scale —
+// so the governor accounts real bytes, not guesses.
+//
+// Config.MemoryBudget splits evenly across shards. Each shard's
+// incarnation tracks the bytes of its live sessions and responds to
+// pressure in two stages, worst first:
+//
+//	bytes + newcomer > budget      → evict coldest tenants until it fits
+//	                                 (budget evictions, on top of the
+//	                                 MaxTenantsPerShard LRU cap)
+//	admitting full size would pass
+//	90% of budget                  → brownout: new sessions are built
+//	                                 with tables BrownoutScale× smaller
+//	                                 and, while it lasts, every session
+//	                                 on the shard trains on only each
+//	                                 BrownoutSample-th access
+//	bytes back at or below 50%     → brownout ends; new sessions are
+//	                                 full-size again
+//
+// Brownout prefers degraded prefetch quality over an OOM kill: smaller
+// tables mean worse coverage (the paper's own scale sensitivity), but
+// the service keeps answering. Recovery is emergent — tenant churn
+// replaces full-size sessions with brownout-size ones and the LRU cap
+// keeps evicting, so accounted bytes fall until the exit threshold
+// clears the state. The enter/exit gap (90/50) is hysteresis: a shard
+// hovering at its budget must not flap between table sizes.
+//
+// Everything here runs on the shard goroutine against goroutine-owned
+// state (shardState.bytes/brownout); the atomics mirrored into Health
+// are guarded by shardState.current, the same discipline as the
+// quarantine gauges.
+package serve
+
+import (
+	"domino/internal/config"
+	"domino/internal/metamem"
+)
+
+// Brownout hysteresis, as fractions of a shard's budget slice: enter
+// when admitting a full-size session would cross enterFrac, leave once
+// accounted bytes fall to exitFrac.
+const (
+	brownoutEnterFrac = 0.9
+	brownoutExitFrac  = 0.5
+)
+
+// sessionBytes is the metadata cost of one tenant session at the given
+// scale divisor: the paper's EIT+HT layout bytes. The serving builder
+// sizes every prefetcher kind off the Domino tables at this scale
+// (buildPrefetcherAt), so the Domino layout is the accounting currency
+// for all of them.
+func sessionBytes(scale int) int64 {
+	return int64(metamem.NewLayout(0, config.ScaledDomino(scale)).TotalBytes())
+}
+
+// budgetAdmit charges one new session against the shard's budget slice,
+// entering brownout and evicting coldest tenants as needed. It returns
+// the byte cost to account and whether the session must be built at
+// brownout scale. The caller adds the cost via addBytes only after the
+// session actually builds — a failed build charges nothing.
+func (st *shardState) budgetAdmit(sh *shard) (cost int64, brown bool) {
+	if sh.budget <= 0 {
+		return 0, false
+	}
+	// Fixed point of (brownout state, newcomer cost): evicting to make
+	// room can drop bytes past the exit threshold and flip brownout off
+	// mid-admission, which changes the newcomer's cost — so cost is
+	// recomputed from the current state each round. The loop terminates
+	// because every round either fits (break) or evicts (tenant count
+	// strictly falls).
+	//
+	// Hard-ceiling floor: if even an empty shard cannot fit the newcomer,
+	// admit it anyway — one session per shard is the floor below which
+	// the shard would refuse all work to protect a budget too small to
+	// hold any.
+	for {
+		cost = sh.fullBytes
+		if !st.brownout && st.bytes+cost > int64(brownoutEnterFrac*float64(sh.budget)) {
+			st.setBrownout(sh, true)
+		}
+		if st.brownout {
+			cost = sh.brownBytes
+		}
+		if st.bytes+cost <= sh.budget || len(st.tenants) == 0 {
+			return cost, st.brownout
+		}
+		st.evictColdest(sh, true)
+	}
+}
+
+// addBytes moves the shard's accounted session bytes by delta (negative
+// on eviction) and drives the brownout *exit* side of the hysteresis —
+// entry happens in budgetAdmit, where the would-be cost is known.
+func (st *shardState) addBytes(sh *shard, delta int64) {
+	if sh.budget <= 0 {
+		return
+	}
+	st.bytes += delta
+	if st.current(sh) {
+		sh.tenantBytes.Store(st.bytes)
+		sh.tenantBytesG.Set(st.bytes)
+	}
+	if st.brownout && st.bytes <= int64(brownoutExitFrac*float64(sh.budget)) {
+		st.setBrownout(sh, false)
+	}
+}
+
+// setBrownout flips the incarnation's brownout state, counting entries
+// (serve.shardN.brownout) and mirroring the state into Health while
+// this incarnation still owns the shard.
+func (st *shardState) setBrownout(sh *shard, on bool) {
+	if st.brownout == on {
+		return
+	}
+	st.brownout = on
+	if on {
+		sh.brownoutC.Inc()
+	}
+	if st.current(sh) {
+		sh.brownoutB.Store(on)
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"domino/internal/telemetry"
+)
+
+// budgetConfig is the common single-shard budget-test config: every
+// tenant lands on shard 0 and the arithmetic below is exact.
+func budgetConfig(budget int64) Config {
+	cfg := Config{Shards: 1, QueueDepth: 8, MaxTenantsPerShard: 4, Prefetcher: "domino", Scale: 64, MemoryBudget: budget}
+	cfg.Metrics = telemetry.New()
+	return cfg
+}
+
+// TestBudgetSqueezeBrownoutWalk walks the full pressure cycle with
+// exact byte arithmetic. f = full-session bytes, b = brownout-session
+// bytes (Scale×8 tables, b ≈ f/8); budget 4f, so brownout enters at
+// 3.6f and exits at 2f. Six tenants admitted in order against a 4-LRU
+// cap:
+//
+//	t1–t3  full size            bytes 3f           ok
+//	t4     enters brownout      bytes 3f+b         brownout
+//	t5     LRU-evicts t1        bytes 2f+2b        brownout (2f+b > 2f at the dip)
+//	t6     LRU-evicts t2, the dip to f+2b ≤ 2f exits brownout,
+//	       so t6 is full size   bytes 2f+2b        ok
+//
+// Health, tenant_bytes, and the brownout/eviction counters must track
+// every step.
+func TestBudgetSqueezeBrownoutWalk(t *testing.T) {
+	f, b := sessionBytes(64), sessionBytes(64*8)
+	if b <= 0 || b > f/4 {
+		t.Fatalf("layout arithmetic drifted: full=%d brown=%d, want 0 < brown <= full/4", f, b)
+	}
+	cfg := budgetConfig(4 * f)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	step := func(tenant string, seed int64, wantBytes int64, wantState string) {
+		t.Helper()
+		if r := submitWait(t, s, Batch{Tenant: tenant, Accesses: collect(t, 64, seed)}); r.Err != nil {
+			t.Fatalf("%s: %v", tenant, r.Err)
+		}
+		h := s.Health()
+		sh := h.Shards[0]
+		if sh.TenantBytes != wantBytes {
+			t.Fatalf("after %s: tenant_bytes = %d, want %d (f=%d b=%d)", tenant, sh.TenantBytes, wantBytes, f, b)
+		}
+		if sh.Overload != wantState {
+			t.Fatalf("after %s: overload = %q, want %q", tenant, sh.Overload, wantState)
+		}
+		if degraded := wantState != "ok"; h.Degraded != degraded {
+			t.Fatalf("after %s: degraded = %v, want %v", tenant, h.Degraded, degraded)
+		}
+		if g := gaugeValue(cfg.Metrics, "serve.shard0.tenant_bytes"); g != wantBytes {
+			t.Fatalf("after %s: tenant_bytes gauge = %d, want %d", tenant, g, wantBytes)
+		}
+	}
+
+	step("t1", 1, f, "ok")
+	step("t2", 2, 2*f, "ok")
+	step("t3", 3, 3*f, "ok")
+	step("t4", 4, 3*f+b, "brownout")
+	step("t5", 5, 2*f+2*b, "brownout")
+	step("t6", 6, 2*f+2*b, "ok")
+
+	if got := sumCounter(cfg.Metrics, ".brownout"); got != 1 {
+		t.Fatalf("brownout entries = %d, want 1", got)
+	}
+	if got := sumCounter(cfg.Metrics, ".evictions"); got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+	if got := sumCounter(cfg.Metrics, ".budget_evictions"); got != 0 {
+		t.Fatalf("budget evictions = %d, want 0 (both were LRU-cap evictions)", got)
+	}
+	if g := gaugeValue(cfg.Metrics, "serve.shard0.tenants"); g != 4 {
+		t.Fatalf("tenants gauge = %d, want 4", g)
+	}
+	st := s.Stats().Shards[0]
+	if st.Evicted != 2 || st.BudgetEvicted != 0 {
+		t.Fatalf("stats = Evicted=%d BudgetEvicted=%d, want 2/0", st.Evicted, st.BudgetEvicted)
+	}
+}
+
+// TestBudgetEvictsColdest pins the hard ceiling: when even
+// brownout-size sessions no longer fit, the governor evicts the coldest
+// tenant (counted as a budget eviction, on top of the LRU cap).
+// Budget f+4b with a 16-tenant cap: t1 full, t2 enters brownout, t3–t5
+// fill to exactly the budget, t6 forces t1 (the only full-size tenant,
+// and the coldest) out. The dip to 4b exits brownout, but re-admitting
+// full size would immediately cross the enter threshold again, so the
+// governor re-enters and t6 is brownout-sized: bytes end at 5b, never
+// above the budget.
+func TestBudgetEvictsColdest(t *testing.T) {
+	f, b := sessionBytes(64), sessionBytes(64*8)
+	if b < f/36 || b > f/4 {
+		t.Fatalf("layout arithmetic drifted: full=%d brown=%d, want full/36 <= brown <= full/4", f, b)
+	}
+	cfg := budgetConfig(f + 4*b)
+	cfg.MaxTenantsPerShard = 16
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	budget := f + 4*b
+	wantBytes := []int64{f, f + b, f + 2*b, f + 3*b, f + 4*b, 5 * b}
+	for i, want := range wantBytes {
+		tenant := []string{"t1", "t2", "t3", "t4", "t5", "t6"}[i]
+		if r := submitWait(t, s, Batch{Tenant: tenant, Accesses: collect(t, 64, int64(i+1))}); r.Err != nil {
+			t.Fatalf("%s: %v", tenant, r.Err)
+		}
+		got := s.Health().Shards[0].TenantBytes
+		if got != want {
+			t.Fatalf("after %s: tenant_bytes = %d, want %d (f=%d b=%d)", tenant, got, want, f, b)
+		}
+		if got > budget {
+			t.Fatalf("after %s: tenant_bytes %d exceeds budget %d", tenant, got, budget)
+		}
+	}
+
+	if got := sumCounter(cfg.Metrics, ".budget_evictions"); got != 1 {
+		t.Fatalf("budget evictions = %d, want 1", got)
+	}
+	if got := sumCounter(cfg.Metrics, ".evictions"); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := sumCounter(cfg.Metrics, ".brownout"); got != 2 {
+		t.Fatalf("brownout entries = %d, want 2 (exit at the eviction dip, immediate re-entry)", got)
+	}
+	st := s.Stats().Shards[0]
+	if st.Evicted != 1 || st.BudgetEvicted != 1 {
+		t.Fatalf("stats = Evicted=%d BudgetEvicted=%d, want 1/1", st.Evicted, st.BudgetEvicted)
+	}
+	if g := gaugeValue(cfg.Metrics, "serve.shard0.tenants"); g != 5 {
+		t.Fatalf("tenants gauge = %d, want 5", g)
+	}
+}
+
+// TestBrownoutSamplingThrottlesTraining pins the brownout sampler by
+// determinism: two identical servers, both forced into brownout from
+// the first admission (budget = 1.5 brownout sessions, so one brown
+// session sits above the 50% exit threshold and the state holds), fed
+// the same
+// batch — the BrownoutSample=2 server trains on strictly fewer accesses
+// (fewer triggered lookups) than the BrownoutSample=1 (sampling
+// disabled) control, while both report the full access count served.
+func TestBrownoutSamplingThrottlesTraining(t *testing.T) {
+	b := sessionBytes(64 * 8)
+	run := func(sample int) Result {
+		t.Helper()
+		cfg := budgetConfig(3 * b / 2)
+		cfg.BrownoutSample = sample
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		defer s.Drain(context.Background())
+		r := submitWait(t, s, Batch{Tenant: "x", Accesses: collect(t, 500, 42)})
+		if r.Err != nil {
+			t.Fatalf("sample=%d: %v", sample, r.Err)
+		}
+		if got := s.Health().Shards[0].Overload; got != "brownout" {
+			t.Fatalf("sample=%d: overload = %q, want brownout", sample, got)
+		}
+		return r
+	}
+	sampled, full := run(2), run(1)
+	if sampled.Accesses != 500 || full.Accesses != 500 {
+		t.Fatalf("accesses = %d/%d, want 500 served either way", sampled.Accesses, full.Accesses)
+	}
+	if full.Hits+full.Misses == 0 {
+		t.Fatal("control run triggered nothing; workload no longer exercises the prefetcher")
+	}
+	if sampled.Hits+sampled.Misses >= full.Hits+full.Misses {
+		t.Fatalf("sampled lookups = %d, control = %d; sampling should strictly reduce them",
+			sampled.Hits+sampled.Misses, full.Hits+full.Misses)
+	}
+}

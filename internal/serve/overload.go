@@ -1,0 +1,344 @@
+// Overload governance: admission control, per-tenant fairness, and
+// deadline shedding for the serving layer. PR 8 made faults survivable;
+// this file makes *pressure* survivable — a hot tenant, a traffic spike,
+// or a slow shard must degrade the service predictably instead of
+// letting queues rot and one tenant starve its neighbors.
+//
+// Three mechanisms, all per shard and all owned by the shard goroutine:
+//
+//   - Weighted-fair pick (fairSched): instead of the plain FIFO loop,
+//     a governed shard drains its input channel into per-tenant queues
+//     and serves them by start-time fair queueing — each flow carries a
+//     virtual finish time advanced by batch cost over weight, and the
+//     flow with the smallest start tag goes next. A tenant submitting
+//     6 batches back to back no longer delays a tenant submitting 1.
+//   - Token buckets: each flow refills at Overload.TenantRate accesses
+//     per second up to TenantBurst. Flows that can afford their next
+//     batch are preferred; when nobody can, the scheduler stays
+//     work-conserving and forces the fairest pick anyway, driving that
+//     bucket into bounded debt so it is deprioritized later.
+//   - Deadline shedding (CoDel-flavored): a picked batch that already
+//     waited longer than Overload.QueueTarget, with more work queued
+//     behind it, is failed with ErrShed instead of served — shard time
+//     goes to batches whose reply still matters. The last queued batch
+//     is never shed: with nothing behind it, serving beats failing.
+//
+// Above the scheduler, admission control fast-rejects with ErrOverloaded
+// once a shard's pending work (queue + scheduler + in process) crosses
+// Config.HighWatermark of its capacity; that check lives in
+// Submit/TrySubmit (serve.go) against the shard's pending counter.
+//
+// Every decision is deterministic given (config, submission order,
+// clock): ties break on tenant name, the only randomness-free hash here
+// is the map iteration in prune (whose per-entry decisions are
+// independent, so the surviving set is deterministic), and the clock is
+// Config.now — the same lever the quarantine tests use to pin timing.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrShed is wrapped by Result.Err when the queue-deadline shedder
+// failed a batch that out-waited Overload.QueueTarget: the service chose
+// to spend its time on fresher work. Clients should treat it like
+// ErrOverloaded — back off, do not immediately resubmit.
+var ErrShed = errors.New("serve: batch shed: queued past deadline")
+
+// ErrOverloaded is returned by Submit and TrySubmit when a governed
+// shard's pending work is at or past the high watermark. Unlike ErrBusy
+// it is returned by the blocking Submit too: past the watermark the
+// server wants clients to shed or back off, not to park more work.
+var ErrOverloaded = errors.New("serve: shard overloaded")
+
+// OverloadConfig parameterises admission control and fair scheduling
+// (Config.Overload). The zero value of each field takes the documented
+// default.
+type OverloadConfig struct {
+	// TenantRate is each tenant's sustained budget in accesses per
+	// second for the scheduler's token buckets. 0 disables rate
+	// limiting: scheduling is then pure weighted-fair queueing.
+	TenantRate float64
+	// TenantBurst is the bucket capacity in accesses (default:
+	// TenantRate, i.e. one second of budget). Size it to at least one
+	// typical batch, or no batch is ever affordable and every pick is a
+	// forced (debt-charging) one.
+	TenantBurst float64
+	// Weight maps a tenant to its fair-share weight (default 1 for
+	// every tenant; returned values <= 0 are treated as 1). A weight-2
+	// tenant gets twice the shard time of a weight-1 tenant under
+	// contention.
+	Weight func(tenant string) float64
+	// QueueTarget is the sojourn deadline: a batch that waited longer
+	// with more work queued behind it is shed with ErrShed (default
+	// 100ms; negative disables shedding).
+	QueueTarget time.Duration
+}
+
+// withDefaults returns a defaulted copy (the caller's struct is never
+// mutated; Config.withDefaults swaps the pointer).
+func (ov *OverloadConfig) withDefaults() *OverloadConfig {
+	o := *ov
+	if o.TenantRate < 0 {
+		o.TenantRate = 0
+	}
+	if o.TenantRate > 0 && o.TenantBurst <= 0 {
+		o.TenantBurst = max(o.TenantRate, 1)
+	}
+	if o.QueueTarget == 0 {
+		o.QueueTarget = 100 * time.Millisecond
+	}
+	if o.QueueTarget < 0 {
+		o.QueueTarget = 0
+	}
+	return &o
+}
+
+// batchCost is the work estimate for one batch, in accesses. It is both
+// the token-bucket charge and the virtual-time service charge, so a
+// tenant submitting large batches spends its share faster than one
+// submitting small ones.
+func batchCost(b Batch) float64 {
+	if len(b.Accesses) == 0 {
+		return 1
+	}
+	return float64(len(b.Accesses))
+}
+
+// flow is one tenant's scheduler state: its FIFO of queued batches, its
+// virtual finish time, and its token bucket.
+type flow struct {
+	name    string
+	weight  float64
+	q       []Batch
+	head    int
+	vfinish float64 // virtual finish time of the last served batch
+	tokens  float64
+	last    time.Time // last token refill instant (zero = fresh bucket)
+}
+
+func (f *flow) empty() bool { return f.head == len(f.q) }
+func (f *flow) peek() Batch { return f.q[f.head] }
+
+func (f *flow) pop() Batch {
+	b := f.q[f.head]
+	f.q[f.head] = Batch{} // drop references so consumed batches are collectable
+	f.head++
+	if f.empty() {
+		f.q, f.head = f.q[:0], 0
+	}
+	return b
+}
+
+func (f *flow) refill(ov *OverloadConfig, now time.Time) {
+	if ov.TenantRate <= 0 {
+		return
+	}
+	if dt := now.Sub(f.last); dt > 0 {
+		f.tokens = min(f.tokens+ov.TenantRate*dt.Seconds(), ov.TenantBurst)
+	}
+	f.last = now
+}
+
+// fairSched is a shard incarnation's weighted-fair scheduler. Like the
+// rest of shardState it is goroutine-owned: no locks, and a replacement
+// incarnation starts with a fresh one (the dying incarnation fails its
+// backlog, see failAll).
+type fairSched struct {
+	flows   map[string]*flow
+	active  []*flow // flows with queued batches, in arrival order
+	backlog int     // batches queued across all flows
+	vclock  float64 // virtual time of the last served batch's start tag
+}
+
+func newFairSched() *fairSched {
+	return &fairSched{flows: make(map[string]*flow)}
+}
+
+// fill drains the input channel into the scheduler without blocking, up
+// to QueueDepth batches across flows — the scheduler's half of the
+// governed shard's 2×QueueDepth capacity. It reports whether the
+// channel has been closed.
+func (s *fairSched) fill(sh *shard, closed bool) bool {
+	for !closed && s.backlog < sh.cfg.QueueDepth {
+		select {
+		case b, ok := <-sh.in:
+			if !ok {
+				return true
+			}
+			s.push(sh, b)
+		default:
+			return false
+		}
+	}
+	return closed
+}
+
+func (s *fairSched) push(sh *shard, b Batch) {
+	f := s.flows[b.Tenant]
+	if f == nil {
+		s.prune(sh)
+		f = &flow{name: b.Tenant, weight: 1, tokens: sh.ov.TenantBurst}
+		if wf := sh.ov.Weight; wf != nil {
+			if w := wf(b.Tenant); w > 0 {
+				f.weight = w
+			}
+		}
+		s.flows[b.Tenant] = f
+	}
+	if f.empty() {
+		s.active = append(s.active, f)
+	}
+	f.q = append(f.q, b)
+	s.backlog++
+}
+
+// prune bounds the flow map under a rotating tenant namespace: inactive
+// flows whose bucket has fully recovered carry no scheduling state
+// worth keeping (their vfinish is lagging and would be clamped up to
+// vclock anyway). Flows still in token debt are kept, so a tenant
+// cannot clear its debt by going briefly idle.
+func (s *fairSched) prune(sh *shard) {
+	if len(s.flows) <= 4*sh.cfg.MaxTenantsPerShard {
+		return
+	}
+	now := sh.cfg.now()
+	for name, f := range s.flows {
+		if !f.empty() {
+			continue
+		}
+		f.refill(sh.ov, now)
+		if sh.ov.TenantRate <= 0 || f.tokens >= sh.ov.TenantBurst {
+			delete(s.flows, name)
+		}
+	}
+}
+
+// pick serves the next batch by start-time fair queueing with
+// token-bucket gating: among flows whose bucket affords their head
+// batch, the smallest virtual start tag max(vclock, flow.vfinish) wins;
+// when no flow can afford its head batch the scheduler stays
+// work-conserving and forces the fairest pick anyway, driving that
+// bucket into (bounded) debt. Ties break on tenant name, so the
+// schedule is a pure function of (config, submission order, clock).
+func (s *fairSched) pick(sh *shard, now time.Time) Batch {
+	var best *flow
+	var bestTag float64
+	bestOK := false
+	for _, f := range s.active {
+		f.refill(sh.ov, now)
+		tag := max(s.vclock, f.vfinish)
+		ok := sh.ov.TenantRate <= 0 || f.tokens >= batchCost(f.peek())
+		var better bool
+		switch {
+		case best == nil:
+			better = true
+		case ok != bestOK:
+			better = ok
+		case tag != bestTag:
+			better = tag < bestTag
+		default:
+			better = f.name < best.name
+		}
+		if better {
+			best, bestTag, bestOK = f, tag, ok
+		}
+	}
+	b := best.pop()
+	cost := batchCost(b)
+	s.vclock = bestTag
+	best.vfinish = bestTag + cost/best.weight
+	if sh.ov.TenantRate > 0 {
+		best.tokens = max(best.tokens-cost, -sh.ov.TenantBurst)
+	}
+	if best.empty() {
+		for i, f := range s.active {
+			if f == best {
+				s.active = append(s.active[:i], s.active[i+1:]...)
+				break
+			}
+		}
+	}
+	s.backlog--
+	return b
+}
+
+// failAll answers every batch still queued in the scheduler with err.
+// Called when an incarnation dies or is superseded: scheduler state is
+// goroutine-owned and cannot be handed to the replacement, so its
+// batches fail fast instead of leaving Reply channels hanging.
+func (s *fairSched) failAll(sh *shard, err error) {
+	for _, f := range s.active {
+		for !f.empty() {
+			sh.failBatch(f.pop(), err)
+		}
+	}
+	s.active = s.active[:0]
+	s.backlog = 0
+}
+
+// runGoverned is the governed incarnation loop — the drop-in
+// replacement for the plain FIFO loop in runGen: drain the input
+// channel into the fair scheduler, serve batches in weighted-fair
+// order, shed the ones that out-waited QueueTarget.
+func (sh *shard) runGoverned(st *shardState, gen uint64, done chan<- runExit) {
+	var cur *Batch
+	defer func() {
+		if r := recover(); r != nil {
+			if cur != nil {
+				sh.failBatch(*cur, fmt.Errorf("serve: shard %d died processing batch: %v", sh.id, r))
+			}
+			st.sched.failAll(sh, fmt.Errorf("serve: shard %d died with batch queued behind the fault", sh.id))
+			done <- runExit{kind: exitPanic, cause: fmt.Sprint(r)}
+		}
+	}()
+	closed := false
+	for {
+		closed = st.sched.fill(sh, closed)
+		if st.sched.backlog == 0 {
+			if closed {
+				done <- runExit{kind: exitClean}
+				return
+			}
+			// Idle: block for work, then loop so fill can batch up whatever
+			// else arrived before the first pick.
+			b, ok := <-sh.in
+			if !ok {
+				closed = true
+				continue
+			}
+			st.sched.push(sh, b)
+			continue
+		}
+		now := sh.cfg.now()
+		b := st.sched.pick(sh, now)
+		if target := sh.ov.QueueTarget; target > 0 && st.sched.backlog > 0 && !b.enqueuedAt.IsZero() {
+			if waited := now.Sub(b.enqueuedAt); waited > target {
+				sh.shedBatch(b, waited)
+				continue
+			}
+		}
+		cur = &b
+		sh.handle(st, gen, b)
+		cur = nil
+		if sh.gen.Load() != gen {
+			// Superseded by the watchdog mid-batch: the replacement owns
+			// the channel, and this incarnation's scheduler backlog dies
+			// with it.
+			st.sched.failAll(sh, fmt.Errorf("serve: shard %d goroutine replaced with batch queued", sh.id))
+			return
+		}
+	}
+}
+
+// shedBatch fails one batch with ErrShed and accounts the shed.
+func (sh *shard) shedBatch(b Batch, waited time.Duration) {
+	sh.shedC.Inc()
+	sh.statMu.Lock()
+	sh.stats.Shed++
+	sh.statMu.Unlock()
+	sh.failBatch(b, fmt.Errorf("%w: waited %v, target %v",
+		ErrShed, waited.Round(time.Microsecond), sh.ov.QueueTarget))
+}

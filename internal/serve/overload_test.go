@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"domino/internal/telemetry"
+)
+
+// gaugeValue reads one gauge by exact name (0 if absent).
+func gaugeValue(reg *telemetry.Registry, name string) int64 {
+	for _, m := range reg.Snapshot() {
+		if m.Kind == "gauge" && m.Name == name && m.Value != nil {
+			return *m.Value
+		}
+	}
+	return 0
+}
+
+// TestFairPickPreventsStarvation pins the scheduler's core promise: a
+// tenant that queued six batches back to back does not starve two
+// co-resident tenants that each queued one. The batches are preloaded
+// into the single shard's channel before Start, so the governed loop
+// drains them all into the fair scheduler and the completion order is a
+// pure function of (config, submission order) on a frozen clock: the
+// two cold tenants finish first (smallest virtual start tags, ties on
+// name), then the hot tenant's six. Under the old FIFO loop the cold
+// batches would have finished last.
+func TestFairPickPreventsStarvation(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.Metrics = telemetry.New()
+	cfg.Overload = &OverloadConfig{TenantRate: 100, TenantBurst: 150}
+	cfg.now = clock.now
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reply := make(chan Result, 8)
+	submit := func(tenant string, n int, seed int64) {
+		t.Helper()
+		if err := s.Submit(context.Background(), Batch{Tenant: tenant, Accesses: collect(t, n, seed), Reply: reply}); err != nil {
+			t.Fatalf("Submit(%s): %v", tenant, err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		submit("hot", 100, int64(i+1))
+	}
+	submit("cold-a", 50, 7)
+	submit("cold-b", 50, 8)
+
+	s.Start()
+	defer s.Drain(context.Background())
+
+	var order []string
+	for i := 0; i < 8; i++ {
+		r := <-reply
+		if r.Err != nil {
+			t.Fatalf("batch %d for %s failed: %v", i, r.Tenant, r.Err)
+		}
+		order = append(order, r.Tenant)
+	}
+	want := []string{"cold-a", "cold-b", "hot", "hot", "hot", "hot", "hot", "hot"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("completion order = %v, want %v", order, want)
+	}
+}
+
+// TestQueueDeadlineShed pins the shedder: batches that out-waited
+// QueueTarget with work queued behind them fail with ErrShed, and the
+// last queued batch is always served (with nothing behind it, serving
+// beats failing). Four batches are enqueued, the fake clock jumps past
+// the target, and the shard starts: the first three shed, the fourth
+// processes.
+func TestQueueDeadlineShed(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 4
+	cfg.Metrics = telemetry.New()
+	cfg.Overload = &OverloadConfig{QueueTarget: 10 * time.Millisecond}
+	cfg.now = clock.now
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reply := make(chan Result, 4)
+	accesses := collect(t, 16, 1)
+	for i := 0; i < 4; i++ {
+		if err := s.Submit(context.Background(), Batch{Tenant: "t", Accesses: accesses, Reply: reply}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	clock.advance(20 * time.Millisecond)
+	s.Start()
+	defer s.Drain(context.Background())
+
+	shed, served := 0, 0
+	for i := 0; i < 4; i++ {
+		r := <-reply
+		switch {
+		case r.Err == nil:
+			served++
+		case errors.Is(r.Err, ErrShed):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", r.Err)
+		}
+	}
+	if shed != 3 || served != 1 {
+		t.Fatalf("shed = %d, served = %d; want 3 shed, 1 served (last batch never shed)", shed, served)
+	}
+	if got := sumCounter(cfg.Metrics, ".shed"); got != 3 {
+		t.Fatalf("shed counter = %d, want 3", got)
+	}
+	st := s.Stats().Shards[0]
+	if st.Shed != 3 || st.Failed != 3 {
+		t.Fatalf("stats = %+v, want Shed=3 Failed=3", st)
+	}
+}
+
+// TestHighWatermarkFastReject pins admission control end to end: once a
+// governed shard's pending work hits HighWatermark of its capacity,
+// both TrySubmit and the blocking Submit fast-reject with ErrOverloaded
+// (not ErrBusy, not a parked goroutine), Health reports the shard
+// shedding and the server degraded, /healthz turns 503 — and all of it
+// recovers once the shard drains the backlog.
+func TestHighWatermarkFastReject(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 4
+	cfg.HighWatermark = 0.5 // satCap 8 governed, threshold 4
+	cfg.Metrics = telemetry.New()
+	cfg.Overload = &OverloadConfig{}
+	cfg.now = clock.now
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdmin(s, cfg.Metrics)
+	healthz := func() int {
+		rec := httptest.NewRecorder()
+		a.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		return rec.Code
+	}
+
+	s.Start()
+	accesses := collect(t, 16, 1)
+	// Plug the shard: its goroutine parks on this unbuffered reply send,
+	// so everything submitted after piles up as pending work.
+	plug := make(chan Result)
+	if err := s.Submit(context.Background(), Batch{Tenant: "t", Accesses: accesses, Reply: plug}); err != nil {
+		t.Fatalf("Submit plug: %v", err)
+	}
+	waitFor(t, 2*time.Second, "plug batch to be picked up", func() bool {
+		return s.Health().Shards[0].QueueLen == 0
+	})
+
+	reply := make(chan Result, 8)
+	for i := 0; i < 4; i++ {
+		if err := s.TrySubmit(Batch{Tenant: "t", Accesses: accesses, Reply: reply}); err != nil {
+			t.Fatalf("TrySubmit %d: %v", i, err)
+		}
+	}
+	if err := s.TrySubmit(Batch{Tenant: "t", Accesses: accesses, Reply: reply}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("TrySubmit past watermark = %v, want ErrOverloaded", err)
+	}
+	// The blocking Submit must fast-reject too: past the watermark the
+	// server wants clients backing off, not parking goroutines.
+	if err := s.Submit(context.Background(), Batch{Tenant: "t", Accesses: accesses, Reply: reply}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit past watermark = %v, want ErrOverloaded", err)
+	}
+
+	h := s.Health()
+	sh := h.Shards[0]
+	if !h.Degraded || sh.Overload != "shedding" || !sh.Saturated {
+		t.Fatalf("overloaded health = %+v", h)
+	}
+	if sh.QueueLen != 4 || sh.QueueCap != 8 {
+		t.Fatalf("governed occupancy = %d/%d, want 4/8 (pending over channel+scheduler)", sh.QueueLen, sh.QueueCap)
+	}
+	if code := healthz(); code != 503 {
+		t.Fatalf("/healthz while shedding = %d, want 503", code)
+	}
+	var doc Health
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.OK || !doc.Degraded {
+		t.Fatalf("/healthz body = %+v, want OK (still alive) and Degraded", doc)
+	}
+	if got := sumCounter(cfg.Metrics, ".overloaded"); got != 2 {
+		t.Fatalf("overloaded counter = %d, want 2", got)
+	}
+	if st := s.Stats().Shards[0]; st.Overloaded != 2 {
+		t.Fatalf("stats.Overloaded = %d, want 2", st.Overloaded)
+	}
+
+	// Unplug: the shard serves the backlog and the watermark clears.
+	if r := <-plug; r.Err != nil {
+		t.Fatalf("plug batch failed: %v", r.Err)
+	}
+	for i := 0; i < 4; i++ {
+		if r := <-reply; r.Err != nil {
+			t.Fatalf("queued batch failed after start: %v", r.Err)
+		}
+	}
+	waitFor(t, 2*time.Second, "overload state to clear", func() bool {
+		h := s.Health()
+		return !h.Degraded && h.Shards[0].Overload == "ok" && healthz() == 200
+	})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGovernedDrainServesBacklog pins the governed loop's close
+// semantics: Drain answers every batch already admitted — including
+// those parked in the fair scheduler — before returning.
+func TestGovernedDrainServesBacklog(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	// Shedding off (negative target): this test is about the close
+	// contract, and on a real clock a slow CI machine could otherwise
+	// legitimately shed part of the preloaded backlog.
+	cfg.Overload = &OverloadConfig{QueueTarget: -1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := make(chan Result, 8)
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(context.Background(), Batch{Tenant: fmt.Sprintf("t%d", i%3), Accesses: collect(t, 16, int64(i)), Reply: reply}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	s.Start()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case r := <-reply:
+			if r.Err != nil {
+				t.Fatalf("batch failed during drain: %v", r.Err)
+			}
+		default:
+			t.Fatalf("only %d of 8 batches answered after Drain", i)
+		}
+	}
+}

@@ -88,9 +88,11 @@ func (st *shardState) recordFault(sh *shard, tenant string) {
 	q.strikes++
 	q.faults = 0
 	// Drop the (possibly poisoned) session state right away; the tenant
-	// rebuilds it from scratch on re-admission.
-	if _, live := st.tenants[tenant]; live {
+	// rebuilds it from scratch on re-admission. Its accounted bytes go
+	// back to the budget with it.
+	if t, live := st.tenants[tenant]; live {
 		delete(st.tenants, tenant)
+		st.addBytes(sh, -t.bytes)
 	}
 	sh.quarantinedC.Inc()
 	if st.current(sh) {

@@ -34,6 +34,23 @@
 //     stuck shard and replaces its goroutine.
 //   - Every one of those paths is pinned deterministically by the chaos
 //     injector in chaos.go.
+//
+// Overload degrades the service gracefully instead of toppling it, when
+// governance is enabled:
+//
+//   - With Config.Overload set, each shard serves tenants in weighted-
+//     fair order with per-tenant token buckets, sheds batches that
+//     out-waited Overload.QueueTarget (ErrShed), and fast-rejects new
+//     work past the Config.HighWatermark occupancy (ErrOverloaded).
+//     See overload.go.
+//   - With Config.MemoryBudget set, live session metadata is accounted
+//     in bytes per shard; past the budget the coldest tenants are
+//     evicted, and near it the shard enters brownout — new sessions get
+//     BrownoutScale× smaller tables and training is sampled — rather
+//     than OOM. See budget.go.
+//   - Health reports each shard's overload state (ok/brownout/shedding)
+//     and accounted bytes; the admin endpoint's /healthz turns shedding
+//     into a 503 so load balancers can steer away.
 package serve
 
 import (
@@ -41,6 +58,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -96,6 +114,35 @@ type Config struct {
 	// 32, the paper's size).
 	BufferBlocks int
 
+	// HighWatermark is the queue-occupancy fraction (0, 1] at which a
+	// shard reports Saturated in Health — degraded *before* hard-full —
+	// and, when Overload is set, the admission watermark past which
+	// Submit/TrySubmit fast-reject with ErrOverloaded (default 0.75;
+	// values above 1 are clamped to 1).
+	HighWatermark float64
+	// Overload, if non-nil, enables overload governance on every shard:
+	// weighted-fair scheduling across tenants with token buckets, queue-
+	// deadline shedding (ErrShed), and watermark fast-rejects
+	// (ErrOverloaded). Nil keeps the plain FIFO loop — an ungoverned
+	// server behaves byte-identically to one built before governance
+	// existed. See OverloadConfig in overload.go.
+	Overload *OverloadConfig
+	// MemoryBudget caps the bytes of live session metadata across the
+	// whole server; each shard gets an equal slice. Over its slice a
+	// shard evicts coldest tenants; approaching it (90%) the shard
+	// enters brownout — new sessions built with tables BrownoutScale×
+	// smaller and training sampled every BrownoutSample-th access —
+	// and leaves again below 50%. 0 disables the budget governor. See
+	// budget.go.
+	MemoryBudget int64
+	// BrownoutScale multiplies Scale for sessions built during brownout
+	// (default 8: tables 8× smaller).
+	BrownoutScale int
+	// BrownoutSample trains every Nth access while a shard is in
+	// brownout (default 2; 1 disables sampling). Skipped accesses still
+	// count in Result.Accesses — they are served, just not learned from.
+	BrownoutSample int
+
 	// MaxRestarts budgets supervisor restarts per shard within one crash
 	// burst: 0 (the default) restarts without limit, a negative value
 	// disables restarts entirely, and a positive value marks the shard
@@ -137,7 +184,9 @@ type Config struct {
 	// depth and high-water gauges, batch latency / queue wait / batch
 	// size histograms, fault-containment counters (panics, build_errors,
 	// batch_failures, restarts, stalls, quarantined, readmitted,
-	// quarantine_rejects, quarantined_now), and per-tenant-class accuracy
+	// quarantine_rejects, quarantined_now), overload-governance counters
+	// and gauges (evictions, shed, overloaded, brownout,
+	// budget_evictions, tenant_bytes), and per-tenant-class accuracy
 	// and coverage counters, all under "serve.*". A nil registry costs
 	// nothing on the hot path: every instrumented pointer is nil and
 	// every metric call is a single branch.
@@ -201,6 +250,24 @@ func (c Config) withDefaults() Config {
 	if c.BufferBlocks <= 0 {
 		c.BufferBlocks = 32
 	}
+	if c.HighWatermark <= 0 {
+		c.HighWatermark = 0.75
+	}
+	if c.HighWatermark > 1 {
+		c.HighWatermark = 1
+	}
+	if c.Overload != nil {
+		c.Overload = c.Overload.withDefaults()
+	}
+	if c.MemoryBudget < 0 {
+		c.MemoryBudget = 0
+	}
+	if c.BrownoutScale <= 0 {
+		c.BrownoutScale = 8
+	}
+	if c.BrownoutSample <= 0 {
+		c.BrownoutSample = 2
+	}
 	if c.RestartBackoff <= 0 {
 		c.RestartBackoff = 50 * time.Millisecond
 	}
@@ -232,21 +299,29 @@ func (c Config) withDefaults() Config {
 }
 
 // buildPrefetcher constructs one tenant's prefetcher with finite metadata
-// tables. STMS and Digram default to unlimited history tables in the
+// tables at the configured scale.
+func buildPrefetcher(c Config) (prefetch.Prefetcher, error) {
+	return buildPrefetcherAt(c, c.Scale)
+}
+
+// buildPrefetcherAt builds at an explicit scale divisor — Config.Scale
+// normally, Scale×BrownoutScale for sessions admitted during a
+// brownout. STMS and Digram default to unlimited history tables in the
 // simulator (the paper's configuration); here their history capacity is
 // the Domino HT capacity at the same scale, so every serving prefetcher
-// has the same bounded-residency story.
-func buildPrefetcher(c Config) (prefetch.Prefetcher, error) {
+// has the same bounded-residency story (and the same byte accounting,
+// see sessionBytes in budget.go).
+func buildPrefetcherAt(c Config, scale int) (prefetch.Prefetcher, error) {
 	switch c.Prefetcher {
 	case "domino":
-		return core.New(core.ScaledConfig(c.Degree, c.Scale), nil), nil
+		return core.New(core.ScaledConfig(c.Degree, scale), nil), nil
 	case "stms":
 		sc := stms.DefaultConfig(c.Degree)
-		sc.HTEntries = core.ScaledConfig(c.Degree, c.Scale).Tables.HTEntries
+		sc.HTEntries = core.ScaledConfig(c.Degree, scale).Tables.HTEntries
 		return stms.New(sc, nil), nil
 	case "digram":
 		dc := digram.DefaultConfig(c.Degree)
-		dc.HTEntries = core.ScaledConfig(c.Degree, c.Scale).Tables.HTEntries
+		dc.HTEntries = core.ScaledConfig(c.Degree, scale).Tables.HTEntries
 		return digram.New(dc, nil), nil
 	default:
 		return nil, fmt.Errorf("serve: unknown prefetcher %q (have domino, stms, digram)", c.Prefetcher)
@@ -326,8 +401,15 @@ type ShardStats struct {
 	Evicted    uint64
 	// Failed counts batches that were answered with Result.Err instead
 	// of being processed (panics, build failures, quarantine rejections,
-	// dead-shard rejections).
+	// shed batches, dead-shard rejections).
 	Failed uint64
+	// Shed counts batches failed by the queue-deadline shedder
+	// (errors.Is(Result.Err, ErrShed)); Overloaded counts submissions
+	// fast-rejected at the high watermark; BudgetEvicted counts
+	// evictions forced by the memory budget (a subset of Evicted).
+	Shed          uint64
+	Overloaded    uint64
+	BudgetEvicted uint64
 }
 
 // Stats aggregates the per-shard totals.
@@ -365,6 +447,32 @@ type shard struct {
 	// watchdog is set when Config.BatchDeadline is armed; it gates the
 	// per-batch busy stamps below.
 	watchdog bool
+	// governed is set when Config.Overload is non-nil; ov aliases the
+	// defaulted overload configuration.
+	governed bool
+	ov       *OverloadConfig
+
+	// pending counts admitted-but-unfinished batches (channel +
+	// scheduler + in process) on a governed shard; the high-watermark
+	// fast-reject in Submit/TrySubmit reads it. Unused when ungoverned.
+	pending atomic.Int64
+	// satCap is the shard's effective capacity in batches (QueueDepth
+	// plain, 2×QueueDepth governed: channel plus scheduler);
+	// satThreshold is the occupancy at which the shard is Saturated —
+	// and, governed, fast-rejecting.
+	satCap       int
+	satThreshold int
+
+	// budget is this shard's slice of Config.MemoryBudget (0 = budget
+	// governor off); fullBytes/brownBytes are the per-session metadata
+	// cost at Scale and at Scale×BrownoutScale.
+	budget     int64
+	fullBytes  int64
+	brownBytes int64
+	// brownoutB and tenantBytes mirror the owning incarnation's
+	// brownout flag and accounted session bytes for Health.
+	brownoutB   atomic.Bool
+	tenantBytes atomic.Int64
 
 	// state is the shard's supervision state (ShardState), written by
 	// Start and the supervisor, read by Health and Submit.
@@ -394,7 +502,12 @@ type shard struct {
 	batchesC     *telemetry.Counter
 	hitsC        *telemetry.Counter
 	prefetchC    *telemetry.Counter
-	evictedC     *telemetry.Counter
+	evictionsC   *telemetry.Counter // tenant sessions evicted (LRU cap + budget)
+	shedC        *telemetry.Counter // batches failed by the deadline shedder
+	overloadedC  *telemetry.Counter // watermark fast-rejects
+	brownoutC    *telemetry.Counter // brownout entries
+	budgetEvictC *telemetry.Counter // evictions forced by the memory budget
+	tenantBytesG *telemetry.Gauge   // accounted session metadata bytes
 	panicsC      *telemetry.Counter // recovered per-batch panics
 	buildErrsC   *telemetry.Counter // session build failures
 	failedC      *telemetry.Counter // batches answered with Result.Err
@@ -456,6 +569,10 @@ type tenantSession struct {
 	class string
 	cc    *classCounters
 	last  prefetch.SessionStats // stats at the end of the previous batch
+	// bytes is the session's accounted metadata cost (0 when the budget
+	// governor is off); sampleN counts accesses for brownout sampling.
+	bytes   int64
+	sampleN uint64
 }
 
 // New validates cfg (building a throwaway prefetcher to fail fast on an
@@ -473,7 +590,20 @@ func New(cfg Config) (*Server, error) {
 			cfg:      cfg,
 			instr:    cfg.Metrics != nil || cfg.Trace != nil,
 			watchdog: cfg.BatchDeadline > 0,
+			governed: cfg.Overload != nil,
+			ov:       cfg.Overload,
 			stats:    ShardStats{Shard: i},
+		}
+		sh.satCap = cfg.QueueDepth
+		if sh.governed {
+			// Governed capacity is the channel plus the scheduler's half.
+			sh.satCap = 2 * cfg.QueueDepth
+		}
+		sh.satThreshold = min(max(int(math.Ceil(cfg.HighWatermark*float64(sh.satCap))), 1), sh.satCap)
+		if cfg.MemoryBudget > 0 {
+			sh.budget = max(cfg.MemoryBudget/int64(cfg.Shards), 1)
+			sh.fullBytes = sessionBytes(cfg.Scale)
+			sh.brownBytes = sessionBytes(cfg.Scale * cfg.BrownoutScale)
 		}
 		if reg := cfg.Metrics; reg != nil {
 			p := fmt.Sprintf("serve.shard%d.", i)
@@ -484,7 +614,12 @@ func New(cfg Config) (*Server, error) {
 			sh.batchesC = reg.Counter(p + "batches")
 			sh.hitsC = reg.Counter(p + "hits")
 			sh.prefetchC = reg.Counter(p + "prefetches")
-			sh.evictedC = reg.Counter(p + "evicted")
+			sh.evictionsC = reg.Counter(p + "evictions")
+			sh.shedC = reg.Counter(p + "shed")
+			sh.overloadedC = reg.Counter(p + "overloaded")
+			sh.brownoutC = reg.Counter(p + "brownout")
+			sh.budgetEvictC = reg.Counter(p + "budget_evictions")
+			sh.tenantBytesG = reg.Gauge(p + "tenant_bytes")
 			sh.panicsC = reg.Counter(p + "panics")
 			sh.buildErrsC = reg.Counter(p + "build_errors")
 			sh.failedC = reg.Counter(p + "batch_failures")
@@ -524,10 +659,29 @@ func (s *Server) shardFor(tenant string) *shard {
 	return s.shards[int(h.Sum32())%len(s.shards)]
 }
 
+// admitGoverned is the watermark gate for a governed shard: it reserves
+// one pending slot, or accounts an ErrOverloaded fast-reject when the
+// reservation would cross the high watermark. Returns whether the batch
+// may proceed to the queue.
+func (sh *shard) admitGoverned() bool {
+	if n := sh.pending.Add(1); int(n) > sh.satThreshold {
+		sh.pending.Add(-1)
+		sh.overloadedC.Inc()
+		sh.statMu.Lock()
+		sh.stats.Overloaded++
+		sh.statMu.Unlock()
+		return false
+	}
+	return true
+}
+
 // Submit enqueues b on its tenant's shard, blocking while the shard queue
 // is full — the backpressure path. It returns ctx.Err() if ctx is done
-// first, ErrClosed once the server is draining or closed, and
-// ErrShardDown if the tenant's shard has exhausted its restart budget.
+// first, ErrClosed once the server is draining or closed, ErrShardDown
+// if the tenant's shard has exhausted its restart budget, and — on a
+// governed shard — ErrOverloaded without blocking once pending work is
+// at the high watermark (past the watermark the server wants clients to
+// shed or back off, not to park more work).
 func (s *Server) Submit(ctx context.Context, b Batch) error {
 	sh := s.shardFor(b.Tenant)
 	s.mu.RLock()
@@ -538,20 +692,31 @@ func (s *Server) Submit(ctx context.Context, b Batch) error {
 	if sh.curState() == ShardDead {
 		return ErrShardDown
 	}
-	if sh.instr {
+	if sh.governed {
+		if !sh.admitGoverned() {
+			return ErrOverloaded
+		}
+		// cfg.now, not time.Now: the sojourn deadline must follow the
+		// same (test-overridable) clock as the shedder.
+		b.enqueuedAt = sh.cfg.now()
+	} else if sh.instr {
 		b.enqueuedAt = time.Now()
 	}
 	select {
 	case sh.in <- b:
 		return nil
 	case <-ctx.Done():
+		if sh.governed {
+			sh.pending.Add(-1)
+		}
 		return ctx.Err()
 	}
 }
 
 // TrySubmit is the non-blocking Submit: it returns ErrBusy instead of
 // waiting when the shard queue is full, for callers that prefer load
-// shedding over backpressure.
+// shedding over backpressure — and, on a governed shard, ErrOverloaded
+// once pending work is at the high watermark.
 func (s *Server) TrySubmit(b Batch) error {
 	sh := s.shardFor(b.Tenant)
 	s.mu.RLock()
@@ -562,13 +727,21 @@ func (s *Server) TrySubmit(b Batch) error {
 	if sh.curState() == ShardDead {
 		return ErrShardDown
 	}
-	if sh.instr {
+	if sh.governed {
+		if !sh.admitGoverned() {
+			return ErrOverloaded
+		}
+		b.enqueuedAt = sh.cfg.now()
+	} else if sh.instr {
 		b.enqueuedAt = time.Now()
 	}
 	select {
 	case sh.in <- b:
 		return nil
 	default:
+		if sh.governed {
+			sh.pending.Add(-1)
+		}
 		return ErrBusy
 	}
 }
@@ -628,8 +801,12 @@ type ShardHealth struct {
 	Restarts uint64 `json:"restarts"`
 	// Quarantined is the number of tenants currently quarantined.
 	Quarantined int `json:"quarantined"`
-	// QueueLen and QueueCap describe the bounded input queue right now;
-	// Saturated flags a full queue (the backpressure condition).
+	// QueueLen and QueueCap describe pending work right now: on a plain
+	// shard the bounded input channel, on a governed shard everything
+	// admitted and unfinished (channel + scheduler + in process, cap
+	// 2×QueueDepth). Saturated flags occupancy at or past the
+	// Config.HighWatermark fraction of capacity — degradation shows
+	// here before the queue is hard-full.
 	QueueLen  int  `json:"queue_len"`
 	QueueCap  int  `json:"queue_cap"`
 	Saturated bool `json:"saturated"`
@@ -637,6 +814,14 @@ type ShardHealth struct {
 	// including the one being processed.
 	QueueHWM int `json:"queue_hwm"`
 	Tenants  int `json:"tenants"`
+	// Overload is the shard's overload state: "ok", "brownout" (memory
+	// budget pressure: scaled-down sessions, sampled training) or
+	// "shedding" (at the watermark: submissions fast-rejected, stale
+	// batches shed). The admin endpoint maps "shedding" to a 503.
+	Overload string `json:"overload"`
+	// TenantBytes is the accounted session metadata on this shard (0
+	// when the memory budget governor is off).
+	TenantBytes int64 `json:"tenant_bytes"`
 }
 
 // Health is the server's liveness report, served by the admin endpoint's
@@ -645,9 +830,13 @@ type Health struct {
 	// OK is true while the server accepts work: not closed and every
 	// shard's goroutine alive (a shard that is restarting or dead takes
 	// the server out of OK until the supervisor brings it back).
-	OK     bool          `json:"ok"`
-	Closed bool          `json:"closed"`
-	Shards []ShardHealth `json:"shards"`
+	OK     bool `json:"ok"`
+	Closed bool `json:"closed"`
+	// Degraded is true while any shard reports an overload state other
+	// than "ok" (brownout or shedding). The server still accepts work —
+	// OK governs that — but it is degrading service to survive.
+	Degraded bool          `json:"degraded"`
+	Shards   []ShardHealth `json:"shards"`
 }
 
 // Health snapshots shard liveness and queue occupancy. It is safe to
@@ -662,7 +851,17 @@ func (s *Server) Health() Health {
 		sh.statMu.Lock()
 		tenants := sh.stats.Tenants
 		sh.statMu.Unlock()
-		qlen := len(sh.in)
+		qlen, qcap := len(sh.in), cap(sh.in)
+		if sh.governed {
+			qlen, qcap = int(sh.pending.Load()), sh.satCap
+		}
+		over := "ok"
+		switch {
+		case sh.governed && qlen >= sh.satThreshold:
+			over = "shedding"
+		case sh.brownoutB.Load():
+			over = "brownout"
+		}
 		shh := ShardHealth{
 			Shard:       sh.id,
 			Alive:       state == ShardAlive,
@@ -670,13 +869,18 @@ func (s *Server) Health() Health {
 			Restarts:    sh.restarts.Load(),
 			Quarantined: int(sh.quarantinedN.Load()),
 			QueueLen:    qlen,
-			QueueCap:    cap(sh.in),
-			Saturated:   qlen == cap(sh.in),
+			QueueCap:    qcap,
+			Saturated:   qlen >= sh.satThreshold,
 			QueueHWM:    int(sh.hwm.Load()),
 			Tenants:     tenants,
+			Overload:    over,
+			TenantBytes: sh.tenantBytes.Load(),
 		}
 		if state != ShardAlive {
 			h.OK = false
+		}
+		if over != "ok" {
+			h.Degraded = true
 		}
 		h.Shards = append(h.Shards, shh)
 	}

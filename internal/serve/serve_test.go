@@ -538,3 +538,43 @@ func TestBatchHistogramQuantiles(t *testing.T) {
 		t.Fatalf("quantiles p50=%d p99=%d", p50, p99)
 	}
 }
+
+// TestSaturatedHighWatermark pins the satellite fix to Health: an
+// ungoverned shard reports Saturated at the HighWatermark fraction of
+// its queue, not only at the exact moment the queue is full — so
+// /healthz degrades before the first ErrBusy, while there is still
+// headroom to react.
+func TestSaturatedHighWatermark(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 4
+	cfg.HighWatermark = 0.5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := collect(t, 16, 1)
+	if s.Health().Shards[0].Saturated {
+		t.Fatal("empty queue reports saturated")
+	}
+	if err := s.TrySubmit(Batch{Tenant: "t", Accesses: accesses}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Health().Shards[0].Saturated {
+		t.Fatal("1/4 queued reports saturated below the 0.5 watermark")
+	}
+	if err := s.TrySubmit(Batch{Tenant: "t", Accesses: accesses}); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.Health().Shards[0]
+	if !sh.Saturated {
+		t.Fatalf("2/4 queued not saturated at the 0.5 watermark: %+v", sh)
+	}
+	if sh.QueueLen != 2 || sh.QueueCap != 4 {
+		t.Fatalf("occupancy = %d/%d, want 2/4 (saturated well before full)", sh.QueueLen, sh.QueueCap)
+	}
+	s.Start()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,15 +74,26 @@ type shardState struct {
 	classes map[string]*classCounters // per-class counter cache
 	traceN  uint64                    // accesses seen, for every-Nth sampling
 	quar    map[string]*quarState     // per-tenant fault history
+
+	// sched is the weighted-fair scheduler (governed shards only, see
+	// overload.go); bytes/brownout are the memory budget governor's
+	// accounting (budget.go). All goroutine-owned, like the rest.
+	sched    *fairSched
+	bytes    int64
+	brownout bool
 }
 
 func newShardState(cfg Config, gen uint64) *shardState {
-	return &shardState{
+	st := &shardState{
 		gen:     gen,
 		tenants: make(map[string]*tenantSession, cfg.MaxTenantsPerShard),
 		classes: make(map[string]*classCounters),
 		quar:    make(map[string]*quarState),
 	}
+	if cfg.Overload != nil {
+		st.sched = newFairSched()
+	}
+	return st
 }
 
 // current reports whether this incarnation still owns the shard. A
@@ -118,9 +129,13 @@ func (s *Server) supervise(sh *shard) {
 	burst := 0 // restarts within the current crash burst
 	gen := sh.gen.Add(1)
 	for {
-		// A fresh incarnation starts with no quarantined tenants.
+		// A fresh incarnation starts with no quarantined tenants, no
+		// accounted session bytes, and no brownout.
 		sh.quarantinedN.Store(0)
 		sh.quarG.Set(0)
+		sh.brownoutB.Store(false)
+		sh.tenantBytes.Store(0)
+		sh.tenantBytesG.Set(0)
 		sh.setState(ShardAlive)
 		up := sh.cfg.now()
 		done := make(chan runExit, 1)
@@ -189,8 +204,14 @@ func (sh *shard) watch(gen uint64, done <-chan runExit) runExit {
 // the input channel closes, applying each batch to its tenant's session
 // in order. A panic that escapes batch isolation fails the in-flight
 // batch and reports exitPanic; the supervisor decides what happens next.
+// A governed shard (Config.Overload) swaps this plain FIFO loop for the
+// weighted-fair loop in overload.go.
 func (sh *shard) runGen(gen uint64, done chan<- runExit) {
 	st := newShardState(sh.cfg, gen)
+	if sh.governed {
+		sh.runGoverned(st, gen, done)
+		return
+	}
 	var cur *Batch
 	defer func() {
 		if r := recover(); r != nil {
@@ -218,8 +239,12 @@ func (sh *shard) runGen(gen uint64, done chan<- runExit) {
 // handle runs one batch: queue accounting, watchdog stamps, guarded
 // processing, telemetry, stats, reply.
 func (sh *shard) handle(st *shardState, gen uint64, b Batch) {
-	// Depth counts this batch plus everything still queued behind it.
+	// Depth counts this batch plus everything still queued behind it —
+	// including the fair scheduler's backlog on a governed shard.
 	depth := int64(len(sh.in)) + 1
+	if st.sched != nil {
+		depth += int64(st.sched.backlog)
+	}
 	sh.queueDepth.Set(depth - 1)
 	if depth > sh.hwm.Load() {
 		sh.hwm.Store(depth)
@@ -274,6 +299,9 @@ func (sh *shard) handle(st *shardState, gen uint64, b Batch) {
 	sh.stats.Tenants = len(st.tenants)
 	sh.statMu.Unlock()
 
+	if sh.governed {
+		sh.pending.Add(-1)
+	}
 	if b.Reply != nil {
 		b.Reply <- res
 	}
@@ -316,7 +344,21 @@ func (sh *shard) processGuarded(st *shardState, b Batch, queueNS int64) (res Res
 func (sh *shard) process(st *shardState, t *tenantSession, b Batch, queueNS int64) Result {
 	res := Result{Tenant: b.Tenant, Accesses: len(b.Accesses)}
 	trace, every := sh.cfg.Trace, uint64(sh.cfg.TraceEvery)
+	// While the shard is in brownout, only every BrownoutSample-th
+	// access is trained and looked up; the rest are served untouched
+	// (counted in Result.Accesses, absent from hits/misses). Sampling is
+	// per-session and deterministic in the access sequence.
+	sample := uint64(1)
+	if st.brownout && sh.cfg.BrownoutSample > 1 {
+		sample = uint64(sh.cfg.BrownoutSample)
+	}
 	for _, a := range b.Accesses {
+		if sample > 1 {
+			t.sampleN++
+			if t.sampleN%sample != 0 {
+				continue
+			}
+		}
 		out := t.sess.Access(a)
 		if out.Triggered {
 			if out.Hit {
@@ -368,18 +410,26 @@ func (st *shardState) session(sh *shard, tenant string) (*tenantSession, error) 
 	t, ok := st.tenants[tenant]
 	if !ok {
 		if len(st.tenants) >= sh.cfg.MaxTenantsPerShard {
-			st.evictColdest(sh)
+			st.evictColdest(sh, false)
 		}
+		// The memory budget governor sizes the newcomer (full or
+		// brownout scale) and makes room under the byte ceiling; the
+		// cost is accounted only once the session actually builds.
+		cost, brown := st.budgetAdmit(sh)
 		if ch := sh.cfg.Chaos; ch != nil && ch.buildFails(tenant) {
 			return nil, fmt.Errorf("serve: chaos: injected session build failure for tenant %q", tenant)
 		}
-		p, err := buildPrefetcher(sh.cfg)
+		scale := sh.cfg.Scale
+		if brown {
+			scale *= sh.cfg.BrownoutScale
+		}
+		p, err := buildPrefetcherAt(sh.cfg, scale)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building session for tenant %q: %w", tenant, err)
 		}
 		cfg := prefetch.DefaultEvalConfig()
 		cfg.BufferBlocks = sh.cfg.BufferBlocks
-		t = &tenantSession{sess: prefetch.NewSession(p, cfg)}
+		t = &tenantSession{sess: prefetch.NewSession(p, cfg), bytes: cost}
 		if sh.cfg.Metrics != nil {
 			t.class = sh.cfg.TenantClass(tenant)
 			t.cc = sh.classFor(st, t.class)
@@ -387,6 +437,7 @@ func (st *shardState) session(sh *shard, tenant string) (*tenantSession, error) 
 			t.class = sh.cfg.TenantClass(tenant)
 		}
 		st.tenants[tenant] = t
+		st.addBytes(sh, cost)
 		if st.current(sh) {
 			sh.tenantsG.Set(int64(len(st.tenants)))
 		}
@@ -395,9 +446,13 @@ func (st *shardState) session(sh *shard, tenant string) (*tenantSession, error) 
 	return t, nil
 }
 
-// evictColdest drops the least recently active tenant. Linear scan: the
+// evictColdest drops the least recently active tenant, releasing its
+// accounted bytes and updating the tenants gauge at eviction time (not
+// only at the next insert — Health and /metrics must see the decrement
+// even when nothing is admitted right after). forBudget marks evictions
+// forced by the memory budget on top of the LRU cap. Linear scan: the
 // per-shard tenant cap is small (default 64).
-func (st *shardState) evictColdest(sh *shard) {
+func (st *shardState) evictColdest(sh *shard, forBudget bool) {
 	var victim string
 	var oldest uint64
 	first := true
@@ -406,13 +461,25 @@ func (st *shardState) evictColdest(sh *shard) {
 			victim, oldest, first = name, t.seen, false
 		}
 	}
-	if !first {
-		delete(st.tenants, victim)
-		sh.evictedC.Inc()
-		sh.statMu.Lock()
-		sh.stats.Evicted++
-		sh.statMu.Unlock()
+	if first {
+		return
 	}
+	t := st.tenants[victim]
+	delete(st.tenants, victim)
+	st.addBytes(sh, -t.bytes)
+	if st.current(sh) {
+		sh.tenantsG.Set(int64(len(st.tenants)))
+	}
+	sh.evictionsC.Inc()
+	if forBudget {
+		sh.budgetEvictC.Inc()
+	}
+	sh.statMu.Lock()
+	sh.stats.Evicted++
+	if forBudget {
+		sh.stats.BudgetEvicted++
+	}
+	sh.statMu.Unlock()
 }
 
 // failBatch answers a batch with an error Result and accounts the
@@ -425,6 +492,11 @@ func (sh *shard) failBatch(b Batch, err error) {
 	sh.stats.Batches++
 	sh.stats.Failed++
 	sh.statMu.Unlock()
+	if sh.governed {
+		// Every failBatch caller holds a batch that passed admission, so
+		// its pending reservation is released here exactly once.
+		sh.pending.Add(-1)
+	}
 	if b.Reply != nil {
 		b.Reply <- Result{Tenant: b.Tenant, Err: err}
 	}

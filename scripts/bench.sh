@@ -14,8 +14,10 @@
 #
 # The benchmark set covers the flathash kernel microbenchmarks (Flat vs
 # builtin-map on identical workloads), the per-prefetcher training-loop
-# benchmarks (BenchmarkTrainLookup), the serving hot path (plain and with
-# telemetry enabled) and the telemetry sinks themselves (enabled and
+# benchmarks (BenchmarkTrainLookup), the serving hot path (plain, with
+# telemetry enabled, and with the full overload-governance stack armed
+# but uncontended — the steady-state price of governance) and the
+# telemetry sinks themselves (enabled and
 # nil-disabled paths). Absolute ns/op gates only apply when
 # the baseline was captured on the same cpu model; the Flat-vs-Map ratio
 # and allocs/op gates apply everywhere. See cmd/benchdiff.
