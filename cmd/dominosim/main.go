@@ -92,7 +92,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		warmup      = fs.Int("warmup", 1_000_000, "warmup accesses excluded from measurement")
 		scale       = fs.Int("scale", 16, "metadata-table scale divisor (paper size / scale)")
 		jobs        = fs.Int("j", 0, "parallel simulation jobs (0 = one per CPU, 1 = serial); output is identical at every setting")
-		traceFile   = fs.String("trace", "", "with -eval: evaluate on a binary trace file instead of a synthetic workload")
+		traceFile   = fs.String("trace", "", "with -eval or -exp: drive the run from an external trace file (native or ChampSim, optionally .gz/.xz) instead of a synthetic workload")
+		traceLimit  = fs.Int("trace-limit", 0, "with -trace: cap the number of accesses ingested from the trace (0 = -accesses)")
 		samples     = fs.Int("samples", 0, "with -speedup: repeat over N independent samples and report mean ± 95% CI")
 		format      = fs.String("format", "table", "with -exp: output format (table, csv, bars)")
 
@@ -117,6 +118,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *warmup < 0 {
 		fmt.Fprintf(stderr, "dominosim: invalid -warmup %d: the warmup access count must be >= 0\n", *warmup)
+		return 2
+	}
+	if *traceFile != "" && !*evalMode && *exp == "" {
+		fmt.Fprintln(stderr, "dominosim: -trace requires -eval or -exp (external traces drive evaluations and experiment sweeps)")
+		return 2
+	}
+	if *traceLimit != 0 && *traceFile == "" {
+		fmt.Fprintln(stderr, "dominosim: -trace-limit requires -trace")
+		return 2
+	}
+	if *traceLimit < 0 {
+		fmt.Fprintf(stderr, "dominosim: invalid -trace-limit %d: must be >= 0\n", *traceLimit)
 		return 2
 	}
 	if *decTraceF != "" && !*evalMode {
@@ -177,6 +190,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		FaultPolicy:    policy,
 		JobTimeout:     *jobTimeout,
 		CheckpointPath: *checkpointF,
+		TraceLimit:     *traceLimit,
+	}
+	if *exp != "" {
+		// -exp consumes the trace through the facade (one bounded load,
+		// shared by every cell); -eval streams the file directly.
+		o.TracePath = *traceFile
 	}
 
 	var progress *telemetry.Progress

@@ -269,3 +269,74 @@ func TestProfilesWritten(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceRequiresEvalOrExp(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-speedup", "-trace", "x.trc"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "-trace requires -eval or -exp") {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestTraceLimitRequiresTrace(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{"-exp", "fig1", "-trace-limit", "100"}, &out, &errb)
+	if code != 2 || !strings.Contains(errb.String(), "-trace-limit requires -trace") {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+}
+
+// goldenTrace is the checked-in ChampSim trace the conformance suite
+// pins; here it drives the CLI end to end.
+const goldenTrace = "../../testdata/oltp_5k.champsim.gz"
+
+// traceArgs sizes a -trace experiment run to the small golden trace.
+func traceArgs(extra ...string) []string {
+	return append([]string{
+		"-exp", "fig11", "-trace", goldenTrace,
+		"-accesses", "5000", "-warmup", "1000", "-scale", "32",
+	}, extra...)
+}
+
+// TestTraceExperimentDeterministicAcrossWorkers is the CLI half of the
+// external-trace determinism contract: stdout of a trace-driven sweep is
+// byte-identical at -j 1 and -j 8.
+func TestTraceExperimentDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep twice")
+	}
+	outs := make([]string, 2)
+	for i, j := range []string{"1", "8"} {
+		var out, errb strings.Builder
+		code := run(context.Background(), traceArgs("-j", j), &out, &errb)
+		if code != 0 {
+			t.Fatalf("-j %s failed (%d): %s", j, code, errb.String())
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("trace-driven stdout differs across -j:\n-j 1:\n%s\n-j 8:\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "oltp_5k.champsim.gz") {
+		t.Fatalf("grid row not named after the trace file:\n%s", outs[0])
+	}
+}
+
+// TestEvalTraceFileChampSim drives -eval -trace with the compressed
+// ChampSim golden: auto-detection and the streaming path, through the CLI.
+func TestEvalTraceFileChampSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real evaluation")
+	}
+	var out, errb strings.Builder
+	code := run(context.Background(), []string{
+		"-eval", "-trace", goldenTrace, "-trace-limit", "4000",
+		"-accesses", "5000", "-warmup", "1000", "-scale", "32",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "misses=") {
+		t.Fatalf("no evaluation report on stdout: %q", out.String())
+	}
+}

@@ -2,6 +2,13 @@
 // binary trace file that cmd/traceinfo and external tools can consume.
 //
 //	tracegen -workload OLTP -accesses 1000000 -out oltp.trc
+//
+// With -convert it instead transcodes an existing trace file — native or
+// ChampSim format, optionally gzip/xz-compressed, auto-detected — into
+// the format named by -to:
+//
+//	tracegen -convert app.champsim.xz -to native -out app.trc
+//	tracegen -convert oltp.trc -to champsim -out oltp.champsim
 package main
 
 import (
@@ -19,11 +26,18 @@ func main() {
 		accesses = flag.Int("accesses", 1_000_000, "number of accesses to generate")
 		out      = flag.String("out", "", "output file (required)")
 		seed     = flag.Int64("seed", 0, "override the workload's seed (0 = calibrated default)")
+		convert  = flag.String("convert", "", "transcode this trace file instead of generating (format auto-detected)")
+		to       = flag.String("to", "native", "with -convert: output format (native, champsim)")
+		limit    = flag.Int("limit", 0, "with -convert: cap the number of accesses converted (0 = all)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
 		os.Exit(2)
+	}
+	if *convert != "" {
+		runConvert(*convert, *to, *out, *limit)
+		return
 	}
 	p := workload.ByName(*name)
 	if *seed != 0 {
@@ -39,6 +53,51 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d accesses of %q to %s\n", tr.Len(), p.Name, *out)
+}
+
+// runConvert transcodes in → out. The input streams through the chunked
+// reader, but the access sequence is materialised for the writers (both
+// formats are written record-at-a-time from an in-memory trace); -limit
+// bounds that materialisation.
+func runConvert(in, to, out string, limit int) {
+	if to != "native" && to != "champsim" {
+		fmt.Fprintf(os.Stderr, "tracegen: invalid -to %q (have native, champsim)\n", to)
+		os.Exit(2)
+	}
+	s, err := trace.OpenStream(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	var r trace.Reader = s
+	if limit > 0 {
+		r = trace.Limit(s, limit)
+	}
+	tr := trace.Collect(r, 0)
+	if err := s.Err(); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	write := trace.Write
+	if to == "champsim" {
+		write = trace.WriteChampSim
+	}
+	if err := write(f, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %d accesses (%s%s) from %s to %s %s\n",
+		tr.Len(), compressionLabel(s), s.Format(), in, to, out)
+}
+
+func compressionLabel(s *trace.Stream) string {
+	if c := s.Compression(); c != "" {
+		return c + " "
+	}
+	return ""
 }
 
 func fatal(err error) {

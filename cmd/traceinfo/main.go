@@ -1,8 +1,11 @@
-// Command traceinfo summarises a binary trace file written by tracegen:
-// gross statistics, the L1-D miss profile, and the Sequitur temporal
-// opportunity of the miss sequence.
+// Command traceinfo summarises a trace file: gross statistics, the L1-D
+// miss profile, and the Sequitur temporal opportunity of the miss
+// sequence. The input may be a native trace written by tracegen or a
+// ChampSim instruction trace, optionally gzip/xz-compressed; the format
+// is auto-detected.
 //
 //	traceinfo -in oltp.trc
+//	traceinfo -in app.champsim.xz -max 1000000
 package main
 
 import (
@@ -27,17 +30,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceinfo: -in is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	s, err := trace.OpenStream(*in)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
+	defer s.Close()
+	var r trace.Reader = s
+	if *maxLines > 0 {
+		r = trace.Limit(s, *maxLines)
+	}
+	tr := trace.Collect(r, 0)
+	// A truncation inside the analysed window is an error; stopping at
+	// -max before the file ends is not.
+	if err := s.Err(); err != nil {
 		fatal(err)
 	}
-	if *maxLines > 0 && tr.Len() > *maxLines {
-		tr.Accesses = tr.Accesses[:*maxLines]
+	if c := s.Compression(); c != "" {
+		fmt.Printf("format: %s (%s-compressed)\n", s.Format(), c)
+	} else {
+		fmt.Printf("format: %s\n", s.Format())
 	}
 	fmt.Println(trace.Summarize(tr))
 

@@ -8,6 +8,60 @@ import (
 	"testing"
 )
 
+// traceGoldenPath is the checked-in external ChampSim trace (5000 memory
+// accesses over ~275k instructions of the OLTP generator, gzip-compressed)
+// that pins the external-trace ingestion path end to end.
+const traceGoldenPath = "testdata/oltp_5k.champsim.gz"
+
+// traceConformanceOptions sizes the sweep to the small golden trace: the
+// warmup must leave a measurement window within its 5000 accesses.
+func traceConformanceOptions() Options {
+	o := QuickOptions()
+	o.Accesses = 5000
+	o.Warmup = 1000
+	o.TracePath = traceGoldenPath
+	return o
+}
+
+// TestTraceConformance drives a full grid figure (Fig. 11, degree-1
+// comparison) from the checked-in ChampSim trace and requires the
+// rendered output to be byte-identical to the golden AND byte-identical
+// across worker counts — the determinism contract of the experiment
+// engine, now holding on the external-trace path. Refresh with:
+//
+//	go test -run TestTraceConformance -update-goldens .
+func TestTraceConformance(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "trace_conformance_golden.txt")
+	run := func(parallelism int) string {
+		o := traceConformanceOptions()
+		o.Parallelism = parallelism
+		out, err := RunExperiment(ExpFig11Degree1, o)
+		if err != nil {
+			t.Fatalf("RunExperiment(fig11, -j %d): %v", parallelism, err)
+		}
+		return out
+	}
+	j1, j8 := run(1), run(8)
+	if j1 != j8 {
+		t.Fatalf("trace-driven output differs across worker counts:\n-j 1:\n%s\n-j 8:\n%s", j1, j8)
+	}
+
+	if *updateGoldens {
+		if err := os.WriteFile(goldenPath, []byte(j1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (rerun with -update-goldens to capture): %v", err)
+	}
+	if j1 != string(want) {
+		t.Fatalf("trace-driven figure diverged from golden:\n got:\n%s\nwant:\n%s", j1, want)
+	}
+}
+
 var updateGoldens = flag.Bool("update-goldens", false,
 	"rewrite testdata/conformance_goldens.json from the current implementation")
 

@@ -22,6 +22,7 @@ package domino
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"domino/internal/dram"
@@ -114,6 +115,15 @@ type Options struct {
 	// them on a rerun with the same configuration, so an interrupted
 	// sweep resumes instead of restarting (cmd/dominosim's -checkpoint).
 	CheckpointPath string
+	// TracePath, when non-empty, drives experiment sweeps from an
+	// external trace file — native or ChampSim format, optionally
+	// gzip/xz-compressed (see internal/trace) — instead of the synthetic
+	// workload generators (cmd/dominosim's -trace with -exp). Grids then
+	// carry one workload row, named after the file.
+	TracePath string
+	// TraceLimit bounds how many accesses are loaded from TracePath; 0
+	// means Accesses (the engine never replays more than that per cell).
+	TraceLimit int
 }
 
 // FaultPolicy selects how experiment sweeps react to failing cells.
@@ -229,19 +239,22 @@ func Evaluate(workloadName string, kind Kind, o Options) (Report, error) {
 	return rep, nil
 }
 
-// EvaluateTraceFile runs the trace-based evaluation of one prefetcher on a
-// binary trace file written by cmd/tracegen (or any tool emitting the
-// format documented in internal/trace), instead of a built-in synthetic
-// workload. The report's Workload field carries the provided label.
+// EvaluateTraceFile runs the trace-based evaluation of one prefetcher on
+// an external trace, instead of a built-in synthetic workload. The input
+// may be in the native format written by cmd/tracegen or in the ChampSim
+// instruction format, optionally gzip- or xz-compressed; the format is
+// auto-detected (see internal/trace). The report's Workload field carries
+// the provided label.
 func EvaluateTraceFile(r io.Reader, label string, kind Kind, o Options) (Report, error) {
 	o = o.normalised()
 	if err := validKind(kind); err != nil {
 		return Report{}, err
 	}
-	fr, err := trace.NewFileReader(r)
+	s, err := trace.NewStream(r)
 	if err != nil {
 		return Report{}, err
 	}
+	defer s.Close()
 	meter := &dram.Meter{}
 	cfg := prefetch.DefaultEvalConfig()
 	cfg.Meter = meter
@@ -249,11 +262,18 @@ func EvaluateTraceFile(r io.Reader, label string, kind Kind, o Options) (Report,
 	cfg.TraceEvery = o.DecisionSample
 	p := experiments.Build(string(kind), o.Degree, meter, o.Scale)
 	warm := o.Warmup
-	if uint64(warm) >= fr.Count() {
-		warm = int(fr.Count() / 2)
+	// Native traces declare their length up front: halve an
+	// all-of-the-trace warmup so a measurement window remains. ChampSim
+	// traces are headerless; RunWarm's end-of-trace clamp covers them.
+	if count, ok := s.Count(); ok && uint64(warm) >= count {
+		warm = int(count / 2)
 	}
-	res := prefetch.RunWarm(fr, p, cfg, warm)
-	if err := fr.Err(); err != nil {
+	var tr trace.Reader = s
+	if o.TraceLimit > 0 {
+		tr = trace.Limit(s, o.TraceLimit)
+	}
+	res := prefetch.RunWarm(tr, p, cfg, warm)
+	if err := s.Err(); err != nil {
 		return Report{}, err
 	}
 	publishTraffic(o.Metrics, meter)
@@ -270,6 +290,32 @@ func EvaluateTraceFile(r io.Reader, label string, kind Kind, o Options) (Report,
 		rep.TrafficOverhead = float64(meter.OverheadBytes()) / base
 	}
 	return rep, nil
+}
+
+// loadTrace materialises the configured external trace file in memory,
+// bounded by TraceLimit (or Accesses), for experiment sweeps: a sweep's
+// cells replay the trace many times in parallel, so one bounded load
+// beats re-decoding the file per cell — and the bound keeps a hostile or
+// oversized file from ballooning the sweep's memory. The returned label
+// (the file's base name) becomes the grid's workload row.
+func (o Options) loadTrace() (*trace.Trace, string, error) {
+	s, err := trace.OpenStream(o.TracePath)
+	if err != nil {
+		return nil, "", err
+	}
+	defer s.Close()
+	max := o.TraceLimit
+	if max <= 0 {
+		max = o.Accesses
+	}
+	t := trace.Collect(trace.Limit(s, max), 0)
+	if err := s.Err(); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", o.TracePath, err)
+	}
+	if t.Len() == 0 {
+		return nil, "", fmt.Errorf("%s: trace contains no accesses", o.TracePath)
+	}
+	return t, filepath.Base(o.TracePath), nil
 }
 
 // SpeedupReport is the outcome of a timing evaluation (Figure 14's metric).

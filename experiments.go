@@ -250,8 +250,15 @@ func checkpointFingerprint(exp Experiment, o Options, workloads []string) string
 	if len(workloads) > 0 {
 		ws = strings.Join(workloads, ",")
 	}
-	return fmt.Sprintf("exp=%s accesses=%d warmup=%d scale=%d workloads=%s",
+	fp := fmt.Sprintf("exp=%s accesses=%d warmup=%d scale=%d workloads=%s",
 		exp, o.Accesses, o.Warmup, o.Scale, ws)
+	if o.TracePath != "" {
+		// External-trace sweeps compute different cells than synthetic
+		// ones; bind the checkpoint to the trace too. Synthetic sweeps
+		// keep the historical fingerprint so existing checkpoints resume.
+		fp += fmt.Sprintf(" trace=%s limit=%d", o.TracePath, o.TraceLimit)
+	}
+	return fp
 }
 
 // engineOptions maps the normalised facade options onto engine options,
@@ -261,6 +268,14 @@ func checkpointFingerprint(exp Experiment, o Options, workloads []string) string
 func (o Options) engineOptions(exp Experiment, workloads ...string) (experiments.Options, func() error, error) {
 	eo := o.experimentOptions(workloads...)
 	cleanup := func() error { return nil }
+	if o.TracePath != "" {
+		t, name, err := o.loadTrace()
+		if err != nil {
+			return eo, cleanup, err
+		}
+		eo.ExternalTrace = t
+		eo.ExternalTraceName = name
+	}
 	if o.CheckpointPath != "" {
 		cp, err := experiments.OpenCheckpoint(o.CheckpointPath, checkpointFingerprint(exp, o, workloads))
 		if err != nil {

@@ -74,6 +74,16 @@ type Options struct {
 	// Checkpoint, if non-nil, persists completed cells and restores them
 	// on a rerun (see OpenCheckpoint).
 	Checkpoint *Checkpoint
+	// ExternalTrace, if non-nil, replaces the synthetic workload
+	// generators: every runner replays this in-memory trace (still bounded
+	// by Accesses) and the grids carry a single workload row named
+	// ExternalTraceName. The trace is shared read-only across cells — each
+	// cell replays it through its own cursor, so parallel sweeps stay
+	// deterministic.
+	ExternalTrace *trace.Trace
+	// ExternalTraceName labels the grid row in external-trace mode; empty
+	// means "trace".
+	ExternalTraceName string
 
 	// chaos, when set (tests only), injects deterministic panics and
 	// stalls into job bodies to exercise the degradation paths.
@@ -96,6 +106,13 @@ func QuickOptions() Options {
 }
 
 func (o Options) workloads() []workload.Params {
+	if o.ExternalTrace != nil {
+		name := o.ExternalTraceName
+		if name == "" {
+			name = "trace"
+		}
+		return []workload.Params{{Name: name}}
+	}
 	if len(o.Workloads) == 0 {
 		return workload.All()
 	}
@@ -107,7 +124,22 @@ func (o Options) workloads() []workload.Params {
 }
 
 func (o Options) trace(p workload.Params) trace.Reader {
+	if o.ExternalTrace != nil {
+		return trace.Limit(o.ExternalTrace.Reader(), o.Accesses)
+	}
 	return trace.Limit(workload.New(p), o.Accesses)
+}
+
+// multicoreTrace returns the per-core trace override for multicore runs,
+// or nil when the synthetic generators are in play. Every core replays
+// the same external trace, as four threads sharing one recorded
+// application would.
+func (o Options) multicoreTrace() func(core int) trace.Reader {
+	if o.ExternalTrace == nil {
+		return nil
+	}
+	t := o.ExternalTrace
+	return func(int) trace.Reader { return t.Reader() }
 }
 
 // missSymbols extracts a workload's baseline L1-D miss line sequence as

@@ -36,7 +36,9 @@ func Utilization(ctx context.Context, o Options, degree int) *UtilizationResult 
 		jobs = append(jobs, Job{
 			Label: wp.Name + "/baseline",
 			Run: func() any {
-				return multicore.Run(wp, multicore.Config{Machine: mc, Accesses: o.Accesses})
+				return multicore.Run(wp, multicore.Config{
+					Machine: mc, Accesses: o.Accesses, Trace: o.multicoreTrace(),
+				})
 			},
 			Collect: func(v any) {
 				res.BaselineGBps.Add(wp.Name, "baseline", v.(*multicore.Result).BandwidthGBps)
@@ -45,7 +47,7 @@ func Utilization(ctx context.Context, o Options, degree int) *UtilizationResult 
 		}, Job{
 			Label: wp.Name + "/domino",
 			Run: func() any {
-				cfg := multicore.Config{Machine: mc, Accesses: o.Accesses}
+				cfg := multicore.Config{Machine: mc, Accesses: o.Accesses, Trace: o.multicoreTrace()}
 				cfg.BuildPrefetcher = func(m *dram.Meter) prefetch.Prefetcher {
 					return Build("domino", degree, m, o.Scale)
 				}

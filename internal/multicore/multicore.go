@@ -41,6 +41,10 @@ type Config struct {
 	// given meter. Use experiments.Build or a custom constructor; nil
 	// runs the no-prefetcher baseline.
 	BuildPrefetcher func(meter *dram.Meter) prefetch.Prefetcher
+	// Trace, if non-nil, supplies core i's access stream instead of the
+	// synthetic workload generator (external-trace runs). Accesses still
+	// bounds each core's replay.
+	Trace func(core int) trace.Reader
 }
 
 // Result aggregates a multicore run.
@@ -117,9 +121,16 @@ func Run(wp workload.Params, cfg Config) *Result {
 		if cfg.BuildPrefetcher != nil {
 			pf = cfg.BuildPrefetcher(meter)
 		}
+		tr := cfg.Trace
+		var source trace.Reader
+		if tr != nil {
+			source = tr(i)
+		} else {
+			source = workload.New(p)
+		}
 		cores[i] = &coreState{
 			sim:   timing.NewShared(mc, pf, meter, sharedL2, bus),
-			tr:    trace.Limit(workload.New(p), cfg.Accesses),
+			tr:    trace.Limit(source, cfg.Accesses),
 			meter: meter,
 		}
 	}

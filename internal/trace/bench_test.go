@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"domino/internal/mem"
+)
+
+// benchRecords sizes the benchmark traces. The default keeps CI fast;
+// the ≥100MB acceptance check runs locally with e.g.
+// TRACE_BENCH_RECORDS=6000000 (6M native records ≈ 114MB).
+func benchRecords() int {
+	if v := os.Getenv("TRACE_BENCH_RECORDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1 << 17
+}
+
+func benchTrace(n int) *Trace {
+	t := &Trace{Accesses: make([]mem.Access, n)}
+	for i := range t.Accesses {
+		t.Accesses[i] = mem.Access{
+			PC:    mem.Addr(0x400000 + 8*(i%512)),
+			Addr:  mem.Addr(0x10000 + 64*i),
+			Write: i%4 == 0,
+		}
+	}
+	return t
+}
+
+// BenchmarkTraceReplayThroughput measures full-file replay: bytes/s via
+// SetBytes plus an accesses/s metric, for each ingestion path — the
+// buffered native stream, the mmap native fast path, the ChampSim
+// decoder, and the Read-everything API as the pre-stream baseline.
+func BenchmarkTraceReplayThroughput(b *testing.B) {
+	n := benchRecords()
+	tr := benchTrace(n)
+	dir := b.TempDir()
+
+	nativePath := filepath.Join(dir, "bench.trace")
+	var nbuf bytes.Buffer
+	if err := Write(&nbuf, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(nativePath, nbuf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	champPath := filepath.Join(dir, "bench.champsim")
+	var cbuf bytes.Buffer
+	if err := WriteChampSim(&cbuf, tr); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(champPath, cbuf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	replay := func(b *testing.B, path string, size int64, opts streamOpts) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := openStream(path, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+				got++
+			}
+			if err := s.Err(); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			if got != n {
+				b.Fatalf("replayed %d accesses, want %d", got, n)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+	}
+
+	b.Run("native-buffered", func(b *testing.B) {
+		replay(b, nativePath, int64(nbuf.Len()), streamOpts{noMmap: true})
+	})
+	b.Run("native-mmap", func(b *testing.B) {
+		replay(b, nativePath, int64(nbuf.Len()), streamOpts{})
+	})
+	b.Run("champsim", func(b *testing.B) {
+		replay(b, champPath, int64(cbuf.Len()), streamOpts{})
+	})
+	b.Run("read", func(b *testing.B) {
+		b.SetBytes(int64(nbuf.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(nativePath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := Read(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != n {
+				b.Fatalf("read %d accesses, want %d", got.Len(), n)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+	})
+}
+
+// BenchmarkStreamNext is the per-access hot path: one Next over an
+// in-memory native image. The benchdiff gate pins its allocs/op at 0 —
+// the zero-steady-state-allocation contract, machine-independently.
+func BenchmarkStreamNext(b *testing.B) {
+	tr := benchTrace(1 << 20)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(recordSize)
+	s, err := newStream(bytes.NewReader(raw), streamOpts{format: FormatNative})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			// Stream exhausted: reopen. Amortised over the 1M records
+			// per stream this contributes ~0 allocs/op.
+			s.Close()
+			if s, err = newStream(bytes.NewReader(raw), streamOpts{format: FormatNative}); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := s.Next(); !ok {
+				b.Fatal("fresh stream is empty")
+			}
+		}
+	}
+	b.StopTimer()
+	s.Close()
+}

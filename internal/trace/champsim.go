@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"domino/internal/mem"
+)
+
+// ChampSim trace format (the de-facto interchange format of the prefetching
+// literature: the DPC-3 trace sets, the Triangel artifacts, and the
+// SNIPPETS exemplar prefetchers all consume it). One fixed 64-byte record
+// per retired instruction, little endian, no file header and no record
+// count:
+//
+//	ip              uint64     program counter of the instruction
+//	is_branch       uint8      1 if the instruction is a branch
+//	branch_taken    uint8      1 if the branch was taken
+//	dst_registers   [2]uint8   written architectural registers (0 = unused)
+//	src_registers   [4]uint8   read architectural registers (0 = unused)
+//	dst_memory      [2]uint64  written byte addresses (0 = unused slot)
+//	src_memory      [4]uint64  read byte addresses (0 = unused slot)
+//
+// Ingestion lowers each instruction's memory operands into mem.Access
+// records: one read access per non-zero src_memory slot (in slot order),
+// then one write access per non-zero dst_memory slot, all carrying the
+// instruction's ip as PC. Instructions with no memory operands produce no
+// access; they are accounted as Gap on the next emitted access (clamped to
+// the field's uint16 range), which is how the timing model recovers
+// instructions-between-misses from ChampSim input. The format carries no
+// dependence information, so Dependent is always false.
+//
+// The operand arity is fixed by the format (2 destinations, 4 sources).
+// The decoder iterates exactly those compile-time bounds and decodes into
+// a fixed-size per-record buffer — nothing is ever sized or indexed from
+// file-derived values, which is the ChampSim-path analogue of the
+// maxPrealloc defense on the native count header: a hostile record can
+// flip every operand slot on, but it can never make the decoder allocate
+// or index past champMaxAccesses.
+const (
+	champRecordSize  = 64
+	champNumDst      = 2
+	champNumSrc      = 4
+	champMaxAccesses = champNumDst + champNumSrc
+
+	champOffBranch = 8
+	champOffTaken  = 9
+	champOffDstReg = 10
+	champOffSrcReg = 12
+	champOffDstMem = 16
+	champOffSrcMem = 32
+)
+
+// champDecoder lowers ChampSim instruction records into accesses. It is
+// the stateful part of the decode: the pending Gap accumulated across
+// records with no memory operands.
+type champDecoder struct {
+	gap uint32
+}
+
+// decode lowers one 64-byte record into dst, which must have room for
+// champMaxAccesses entries, and returns the number of accesses emitted
+// (possibly zero). rec must hold exactly champRecordSize bytes.
+func (d *champDecoder) decode(rec []byte, dst []mem.Access) int {
+	_ = rec[champRecordSize-1] // bounds hint
+	ip := mem.Addr(binary.LittleEndian.Uint64(rec[0:8]))
+	n := 0
+	for i := 0; i < champNumSrc; i++ {
+		addr := binary.LittleEndian.Uint64(rec[champOffSrcMem+8*i:])
+		if addr == 0 {
+			continue
+		}
+		dst[n] = mem.Access{PC: ip, Addr: mem.Addr(addr)}
+		n++
+	}
+	for i := 0; i < champNumDst; i++ {
+		addr := binary.LittleEndian.Uint64(rec[champOffDstMem+8*i:])
+		if addr == 0 {
+			continue
+		}
+		dst[n] = mem.Access{PC: ip, Addr: mem.Addr(addr), Write: true}
+		n++
+	}
+	if n == 0 {
+		// A non-memory instruction: it becomes Gap on the next access.
+		if d.gap < 1<<16-1 {
+			d.gap++
+		}
+		return 0
+	}
+	dst[0].Gap = uint16(d.gap)
+	d.gap = 0
+	return n
+}
+
+// WriteChampSim serialises t as a ChampSim instruction trace. Each access
+// becomes one memory instruction (a read with the address in src_memory[0]
+// or a write with it in dst_memory[0]); an access's Gap is materialised as
+// that many leading non-memory instruction records at the same ip, so the
+// instruction count — and therefore the Gap sequence a decode recovers —
+// round-trips exactly. Dependent has no ChampSim representation and is
+// dropped, and an access to byte address 0 is rejected with an error: 0
+// marks an unused operand slot in the format, so the access would vanish
+// on decode.
+func WriteChampSim(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	var rec [champRecordSize]byte
+	for i, a := range t.Accesses {
+		if a.Addr == 0 {
+			return fmt.Errorf("trace: access %d: byte address 0 has no ChampSim representation (0 marks an unused operand slot)", i)
+		}
+		for i := range rec {
+			rec[i] = 0
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(a.PC))
+		for g := uint16(0); g < a.Gap; g++ {
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+		if a.Write {
+			rec[champOffDstReg] = 1
+			binary.LittleEndian.PutUint64(rec[champOffDstMem:], uint64(a.Addr))
+		} else {
+			rec[champOffSrcReg] = 1
+			binary.LittleEndian.PutUint64(rec[champOffSrcMem:], uint64(a.Addr))
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

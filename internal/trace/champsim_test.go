@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"domino/internal/mem"
+)
+
+// champRecord builds one ChampSim instruction record.
+func champRecord(ip uint64, srcMem, dstMem []uint64) []byte {
+	rec := make([]byte, champRecordSize)
+	binary.LittleEndian.PutUint64(rec[0:8], ip)
+	for i, a := range srcMem {
+		rec[champOffSrcReg+i] = 1
+		binary.LittleEndian.PutUint64(rec[champOffSrcMem+8*i:], a)
+	}
+	for i, a := range dstMem {
+		rec[champOffDstReg+i] = 1
+		binary.LittleEndian.PutUint64(rec[champOffDstMem+8*i:], a)
+	}
+	return rec
+}
+
+func TestChampDecodeOperandOrder(t *testing.T) {
+	rec := champRecord(0x4000, []uint64{100, 200}, []uint64{300})
+	var d champDecoder
+	var dst [champMaxAccesses]mem.Access
+	n := d.decode(rec, dst[:])
+	want := []mem.Access{
+		{PC: 0x4000, Addr: 100},
+		{PC: 0x4000, Addr: 200},
+		{PC: 0x4000, Addr: 300, Write: true},
+	}
+	if n != len(want) {
+		t.Fatalf("decode emitted %d accesses, want %d", n, len(want))
+	}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("access %d = %+v, want %+v", i, dst[i], w)
+		}
+	}
+}
+
+// TestChampDecodeFullArity pins the hostile-record defense: a record with
+// every operand slot set emits exactly champMaxAccesses accesses — the
+// fixed format arity — never more, regardless of the record's contents.
+func TestChampDecodeFullArity(t *testing.T) {
+	rec := champRecord(1, []uint64{10, 20, 30, 40}, []uint64{50, 60})
+	// Make the rest of the record maximally suspicious too.
+	rec[champOffBranch] = 0xff
+	rec[champOffTaken] = 0xff
+	var d champDecoder
+	var dst [champMaxAccesses]mem.Access
+	n := d.decode(rec, dst[:])
+	if n != champMaxAccesses {
+		t.Fatalf("full-arity record emitted %d accesses, want %d", n, champMaxAccesses)
+	}
+}
+
+func TestChampDecodeGapAccumulation(t *testing.T) {
+	var d champDecoder
+	var dst [champMaxAccesses]mem.Access
+	blank := make([]byte, champRecordSize)
+	for i := 0; i < 3; i++ {
+		if n := d.decode(blank, dst[:]); n != 0 {
+			t.Fatalf("non-memory record emitted %d accesses", n)
+		}
+	}
+	n := d.decode(champRecord(7, []uint64{99}, nil), dst[:])
+	if n != 1 || dst[0].Gap != 3 {
+		t.Fatalf("got n=%d gap=%d, want n=1 gap=3", n, dst[0].Gap)
+	}
+	// Gap is consumed: the next access starts at zero again.
+	n = d.decode(champRecord(8, []uint64{98}, nil), dst[:])
+	if n != 1 || dst[0].Gap != 0 {
+		t.Fatalf("after consume: n=%d gap=%d, want n=1 gap=0", n, dst[0].Gap)
+	}
+}
+
+func TestChampDecodeGapClamp(t *testing.T) {
+	var d champDecoder
+	var dst [champMaxAccesses]mem.Access
+	blank := make([]byte, champRecordSize)
+	for i := 0; i < 1<<17; i++ {
+		d.decode(blank, dst[:])
+	}
+	d.decode(champRecord(1, []uint64{2}, nil), dst[:])
+	if dst[0].Gap != 1<<16-1 {
+		t.Fatalf("gap = %d, want clamp at %d", dst[0].Gap, 1<<16-1)
+	}
+}
+
+// TestChampSimRoundTrip: encode with WriteChampSim, decode through the
+// stream, and require the access sequence back exactly — including Gap,
+// which the writer materialises as filler instruction records.
+func TestChampSimRoundTrip(t *testing.T) {
+	in := &Trace{}
+	in.Append(mem.Access{PC: 0x400100, Addr: 0x7000, Gap: 0})
+	in.Append(mem.Access{PC: 0x400108, Addr: 0x7040, Write: true, Gap: 5})
+	in.Append(mem.Access{PC: 0x400110, Addr: 0x8000, Gap: 1})
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 0
+	for _, a := range in.Accesses {
+		wantLen += (int(a.Gap) + 1) * champRecordSize
+	}
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantLen)
+	}
+	s, err := NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Format() != FormatChampSim {
+		t.Fatalf("detected %v, want champsim", s.Format())
+	}
+	got := Collect(s, 0)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != in.Len() {
+		t.Fatalf("decoded %d accesses, want %d", got.Len(), in.Len())
+	}
+	for i := range in.Accesses {
+		if got.Accesses[i] != in.Accesses[i] {
+			t.Errorf("access %d = %+v, want %+v", i, got.Accesses[i], in.Accesses[i])
+		}
+	}
+}
+
+func TestWriteChampSimRejectsAddrZero(t *testing.T) {
+	in := &Trace{}
+	in.Append(mem.Access{PC: 1, Addr: 0})
+	if err := WriteChampSim(&bytes.Buffer{}, in); err == nil {
+		t.Fatal("WriteChampSim accepted byte address 0, which decodes as an unused operand slot")
+	}
+}
+
+// TestWriteChampSimDropsDependent documents the one lossy field: ChampSim
+// carries no dependence bit, so Dependent does not survive a round trip.
+func TestWriteChampSimDropsDependent(t *testing.T) {
+	in := &Trace{}
+	in.Append(mem.Access{PC: 1, Addr: 2, Dependent: true})
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := Collect(s, 0)
+	if got.Len() != 1 || got.Accesses[0].Dependent {
+		t.Fatalf("got %+v, want Dependent dropped", got.Accesses)
+	}
+}

@@ -68,25 +68,31 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read deserialises an entire trace from r.
+// Read deserialises an entire trace from r. It is implemented on the
+// chunked Stream, pinned to the native format: junk input still reports
+// ErrBadMagic rather than being reinterpreted as ChampSim, and no
+// decompression is attempted (use NewStream or OpenStream for either).
+// FileReader remains the record-at-a-time reference implementation; the
+// differential fuzzer holds the two decoders to identical behaviour.
 func Read(r io.Reader) (*Trace, error) {
-	fr, err := NewFileReader(r)
+	s, err := newStream(r, streamOpts{format: FormatNative})
 	if err != nil {
 		return nil, err
 	}
-	prealloc := fr.Count()
+	defer s.Close()
+	prealloc, _ := s.Count()
 	if prealloc > maxPrealloc {
 		prealloc = maxPrealloc
 	}
 	t := &Trace{Accesses: make([]mem.Access, 0, prealloc)}
 	for {
-		a, ok := fr.Next()
+		a, ok := s.Next()
 		if !ok {
 			break
 		}
 		t.Append(a)
 	}
-	if err := fr.Err(); err != nil {
+	if err := s.Err(); err != nil {
 		return nil, err
 	}
 	return t, nil

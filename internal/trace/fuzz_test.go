@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"compress/gzip"
 	"testing"
 
 	"domino/internal/mem"
@@ -10,29 +11,161 @@ import (
 // FuzzReadArbitraryBytes feeds arbitrary bytes to the trace reader: it must
 // return an error or a valid trace, never panic or hang.
 func FuzzReadArbitraryBytes(f *testing.F) {
-	f.Add([]byte{})
-	f.Add([]byte("DOMTRC\x01\x00"))
-	f.Add([]byte("DOMTRC\x01\x00\x01\x00\x00\x00\x00\x00\x00\x00"))
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Read(bytes.NewReader(raw))
+		if err == nil && tr == nil {
+			t.Fatal("nil trace without error")
+		}
+	})
+}
+
+// fuzzSeeds returns the shared corpus shapes: native traces (valid,
+// truncated, trailing garbage, hostile count), ChampSim-shaped records
+// and gzip-compressed variants.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	seeds = append(seeds,
+		[]byte{},
+		[]byte("DOMTRC\x01\x00"),
+		[]byte("DOMTRC\x01\x00\x01\x00\x00\x00\x00\x00\x00\x00"),
+	)
+	one := &Trace{}
+	one.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
 	var buf bytes.Buffer
-	t := &Trace{}
-	t.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
-	_ = Write(&buf, t)
-	f.Add(buf.Bytes())
+	_ = Write(&buf, one)
+	seeds = append(seeds, append([]byte{}, buf.Bytes()...))
 	// Truncated record: the header declares two records, the body holds one.
 	two := &Trace{}
 	two.Append(mem.Access{PC: 1, Addr: 2, Gap: 3})
 	two.Append(mem.Access{PC: 4, Addr: 5, Gap: 6})
 	var tbuf bytes.Buffer
 	_ = Write(&tbuf, two)
-	f.Add(tbuf.Bytes()[:tbuf.Len()-recordSize])
+	seeds = append(seeds, append([]byte{}, tbuf.Bytes()[:tbuf.Len()-recordSize]...))
 	// Trailing garbage: bytes past the last declared record.
-	f.Add(append(append([]byte{}, buf.Bytes()...), 0xDE, 0xAD))
+	seeds = append(seeds, append(append([]byte{}, buf.Bytes()...), 0xDE, 0xAD))
 	// Huge declared count with an empty body.
-	f.Add(append([]byte("DOMTRC\x01\x00"), 0, 0, 0, 0, 0, 0, 0, 0x10))
+	seeds = append(seeds, append([]byte("DOMTRC\x01\x00"), 0, 0, 0, 0, 0, 0, 0, 0x10))
+	// ChampSim-shaped: one load, one non-memory instruction, a truncated
+	// record, and a full-arity record.
+	seeds = append(seeds,
+		champRecord(0x400000, []uint64{0x7000}, nil),
+		make([]byte, champRecordSize),
+		champRecord(0x400000, []uint64{0x7000}, nil)[:champRecordSize/2],
+		champRecord(1, []uint64{10, 20, 30, 40}, []uint64{50, 60}),
+	)
+	// gzip-shaped: a compressed native trace and a compressed ChampSim
+	// record (Read must reject both; NewStream must decode both).
+	for _, plain := range [][]byte{buf.Bytes(), champRecord(9, nil, []uint64{0x8000})} {
+		var z bytes.Buffer
+		zw := gzip.NewWriter(&z)
+		zw.Write(plain)
+		zw.Close()
+		seeds = append(seeds, append([]byte{}, z.Bytes()...))
+	}
+	return seeds
+}
+
+// refRead is the reference decode: the record-at-a-time FileReader driven
+// to completion, with its exact error surface.
+func refRead(raw []byte) (*Trace, error) {
+	fr, err := NewFileReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	for {
+		a, ok := fr.Next()
+		if !ok {
+			break
+		}
+		t.Append(a)
+	}
+	if err := fr.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fuzzErrEq compares the error surfaces of the two decoders: both nil, or
+// both non-nil with identical text.
+func fuzzErrEq(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// FuzzStreamVsRead is the differential battery for the streaming decoder:
+// for arbitrary bytes, the chunked stream-backed Read must match the
+// record-at-a-time FileReader reference exactly — identical access
+// sequences AND identical error/truncation behaviour — and the
+// auto-detecting stream must be self-consistent across chunk sizes
+// (1-record refills vs default refills).
+func FuzzStreamVsRead(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	// Cap decoded accesses per input: a small gzip seed can decompress to
+	// an enormous record stream, and the differential holds on any prefix.
+	const drainCap = 1 << 20
+	drain := func(s *Stream) (*Trace, error) {
+		t := &Trace{}
+		for t.Len() < drainCap {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			t.Append(a)
+		}
+		return t, s.Err()
+	}
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		tr, err := Read(bytes.NewReader(raw))
-		if err == nil && tr == nil {
-			t.Fatal("nil trace without error")
+		want, wantErr := refRead(raw)
+		got, gotErr := Read(bytes.NewReader(raw))
+		if !fuzzErrEq(wantErr, gotErr) {
+			t.Fatalf("error mismatch: FileReader %v, stream-backed Read %v", wantErr, gotErr)
+		}
+		if wantErr == nil {
+			if got.Len() != want.Len() {
+				t.Fatalf("length mismatch: FileReader %d, stream-backed Read %d", want.Len(), got.Len())
+			}
+			for i := range want.Accesses {
+				if got.Accesses[i] != want.Accesses[i] {
+					t.Fatalf("access %d: FileReader %+v, stream-backed Read %+v", i, want.Accesses[i], got.Accesses[i])
+				}
+			}
+		}
+		// Self-consistency of the auto-detecting stream across refill
+		// sizes — covers the ChampSim and gzip decode paths, where no
+		// independent reference implementation exists.
+		s1, err1 := newStream(bytes.NewReader(raw), streamOpts{fillRecs: 1})
+		s2, err2 := newStream(bytes.NewReader(raw), streamOpts{})
+		if !fuzzErrEq(err1, err2) {
+			t.Fatalf("open error mismatch across chunk sizes: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		defer s1.Close()
+		defer s2.Close()
+		if s1.Format() != s2.Format() {
+			t.Fatalf("format mismatch across chunk sizes: %v vs %v", s1.Format(), s2.Format())
+		}
+		t1, e1 := drain(s1)
+		t2, e2 := drain(s2)
+		if !fuzzErrEq(e1, e2) {
+			t.Fatalf("stream error mismatch across chunk sizes: %v vs %v", e1, e2)
+		}
+		if t1.Len() != t2.Len() {
+			t.Fatalf("stream length mismatch across chunk sizes: %d vs %d", t1.Len(), t2.Len())
+		}
+		for i := range t1.Accesses {
+			if t1.Accesses[i] != t2.Accesses[i] {
+				t.Fatalf("stream access %d mismatch across chunk sizes: %+v vs %+v", i, t1.Accesses[i], t2.Accesses[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin
+
+package trace
+
+import "os"
+
+// mmapFile reports that memory mapping is unavailable on this platform;
+// OpenStream falls back to buffered reads.
+func mmapFile(f *os.File) (data []byte, unmap func() error, ok bool) {
+	return nil, nil, false
+}

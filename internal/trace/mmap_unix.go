@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and returns the mapping with its unmap
+// function. ok is false when mapping is not possible (empty file, stat or
+// mmap failure) and the caller should fall back to buffered reads.
+func mmapFile(f *os.File) (data []byte, unmap func() error, ok bool) {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() == 0 || int64(int(fi.Size())) != fi.Size() {
+		return nil, nil, false
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, func() error { return syscall.Munmap(data) }, true
+}

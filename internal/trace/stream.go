@@ -1,0 +1,585 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"domino/internal/mem"
+)
+
+// Format identifies a trace encoding.
+type Format uint8
+
+const (
+	// FormatUnknown asks the stream to auto-detect the format.
+	FormatUnknown Format = iota
+	// FormatNative is the DOMTRC binary format of this package (file.go).
+	FormatNative
+	// FormatChampSim is the ChampSim instruction-trace format
+	// (champsim.go).
+	FormatChampSim
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatNative:
+		return "native"
+	case FormatChampSim:
+		return "champsim"
+	default:
+		return "unknown"
+	}
+}
+
+// Stream ingestion parameters. A refill decodes up to one raw buffer of
+// records at a time; buffers and decoded chunks are recycled through a
+// process-wide pool, so steady-state replay allocates nothing regardless
+// of trace size — a multi-GB trace costs one chunkBuf, not one slice per
+// trace.
+const (
+	// streamBufBytes is the raw-byte refill granularity.
+	streamBufBytes = 1 << 16
+	// streamFillRecs bounds how many ChampSim records one refill decodes
+	// (the native path derives its own record count from the same byte
+	// budget). Like maxPrealloc, it is a compile-time constant: chunk
+	// capacity is never derived from file contents.
+	streamFillRecs = streamBufBytes / champRecordSize
+	// streamAccCap is the decoded-access capacity of one chunk: every
+	// record of a refill emitting its full fixed arity.
+	streamAccCap = streamFillRecs * champMaxAccesses
+)
+
+// chunkBuf is the recyclable working set of one stream: the raw refill
+// buffer and the decoded access chunk.
+type chunkBuf struct {
+	raw []byte
+	acc []mem.Access
+}
+
+var chunkPool = sync.Pool{New: func() any {
+	return &chunkBuf{
+		raw: make([]byte, streamBufBytes),
+		acc: make([]mem.Access, streamAccCap),
+	}
+}}
+
+// byteSource yields the decompressed bytes of a trace in caller-sized
+// pieces. next(n) returns exactly n bytes with a nil error while the
+// stream lasts; a shorter (possibly empty) slice means the stream ended
+// there, with err distinguishing clean EOF (io.EOF or nil) from a real
+// read error. The returned slice is valid until the next call.
+type byteSource interface {
+	next(n int) ([]byte, error)
+}
+
+// readerSource adapts an io.Reader, copying into the stream's pooled raw
+// buffer (one copy per refill, zero allocations).
+type readerSource struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (s *readerSource) next(n int) ([]byte, error) {
+	if n > len(s.buf) {
+		n = len(s.buf)
+	}
+	m, err := io.ReadFull(s.r, s.buf[:n])
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF
+	}
+	return s.buf[:m], err
+}
+
+// mmapSource serves bytes directly from a read-only file mapping: the
+// zero-copy fast path for uncompressed on-disk traces. Decoding reads
+// straight from the page cache; no read syscalls, no buffer copies.
+type mmapSource struct {
+	data []byte
+	off  int
+}
+
+func (s *mmapSource) next(n int) ([]byte, error) {
+	if s.off >= len(s.data) {
+		return nil, io.EOF
+	}
+	end := s.off + n
+	if end > len(s.data) {
+		end = len(s.data)
+	}
+	b := s.data[s.off:end]
+	s.off = end
+	return b, nil
+}
+
+// Stream is a chunked streaming trace reader: it decodes fixed-size
+// batches of records into a pooled chunk and hands them out one access at
+// a time, so traces of any size replay in constant memory. It implements
+// Reader. Construct with OpenStream (files: adds the mmap fast path and
+// xz decompression) or NewStream (any io.Reader); Read is implemented on
+// top of it.
+//
+// Errors are delivered FileReader-style: every access decoded before the
+// offending byte is handed out first, then Next returns false and Err
+// reports the error. Err is therefore meaningful once Next has returned
+// false (it may become non-nil a chunk early — the error is discovered
+// when the chunk is decoded, not when it is consumed).
+type Stream struct {
+	src byteSource
+	cb  *chunkBuf
+
+	chunk []mem.Access
+	pos   int
+
+	format      Format
+	compression string // "", "gzip" or "xz"
+	count       uint64 // declared record count (native only)
+	hasCount    bool
+	read        uint64 // records (instructions, for ChampSim) consumed
+	fillRecs    int    // records per refill (tests shrink it)
+
+	champ champDecoder
+	// champHead holds format-detection bytes that belong to the first
+	// ChampSim record (the format has no magic to consume them); the
+	// first refill splices them back onto the stream.
+	champHead []byte
+
+	ended  bool
+	endErr error
+
+	closers []io.Closer
+	xz      *exec.Cmd
+	unmap   func() error
+	closed  bool
+}
+
+var _ Reader = (*Stream)(nil)
+
+// streamOpts are the internal construction knobs; tests use them to force
+// formats and shrink chunk sizes onto interesting boundaries.
+type streamOpts struct {
+	format   Format // FormatUnknown = detect (including compression)
+	fillRecs int    // records per refill; 0 = streamFillRecs
+	noMmap   bool   // OpenStream: force the buffered path
+}
+
+// NewStream returns a streaming reader over r, auto-detecting the trace
+// format: gzip-compressed input (either format) is decompressed
+// transparently, xz-compressed input is piped through an external xz
+// binary, a DOMTRC magic selects the native format, and anything else is
+// decoded as ChampSim instruction records (the ChampSim format has no
+// magic, so detection is necessarily permissive: arbitrary non-native
+// bytes decode as ChampSim records until they end or truncate).
+func NewStream(r io.Reader) (*Stream, error) {
+	return newStream(r, streamOpts{})
+}
+
+// OpenStream opens the trace file at path as a Stream, with the same
+// format auto-detection as NewStream. Uncompressed files are mapped into
+// memory when the platform supports it, making replay zero-copy; Close
+// unmaps. Compressed files stream through the decompressor in constant
+// memory.
+func OpenStream(path string) (*Stream, error) {
+	return openStream(path, streamOpts{})
+}
+
+func openStream(path string, opts streamOpts) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [6]byte
+	n, _ := f.ReadAt(head[:], 0)
+	if isGzip(head[:n]) || isXz(head[:n]) {
+		// Compressed: stream through the decompressor.
+		s, err := newStream(f, opts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.closers = append(s.closers, f)
+		return s, nil
+	}
+	if !opts.noMmap {
+		if data, unmap, ok := mmapFile(f); ok {
+			// The mapping outlives the descriptor; close it eagerly.
+			f.Close()
+			s, err := newDetectedStream(&mmapSource{data: data}, nil, opts)
+			if err != nil {
+				unmap()
+				return nil, err
+			}
+			s.unmap = unmap
+			return s, nil
+		}
+	}
+	s, err := newStream(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closers = append(s.closers, f)
+	return s, nil
+}
+
+// isGzip and isXz match the compression magics.
+func isGzip(b []byte) bool { return len(b) >= 2 && b[0] == 0x1f && b[1] == 0x8b }
+func isXz(b []byte) bool {
+	return len(b) >= 6 && b[0] == 0xfd && b[1] == '7' && b[2] == 'z' &&
+		b[3] == 'X' && b[4] == 'Z' && b[5] == 0
+}
+
+// newStream wraps r with compression detection (unless a format is
+// pinned) and builds the stream.
+func newStream(r io.Reader, opts streamOpts) (*Stream, error) {
+	var closers []io.Closer
+	var xzCmd *exec.Cmd
+	compression := ""
+	if opts.format == FormatUnknown {
+		head, rest, err := peek(r, 6)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case isGzip(head):
+			zr, err := gzip.NewReader(rest)
+			if err != nil {
+				return nil, fmt.Errorf("trace: gzip: %w", err)
+			}
+			closers = append(closers, zr)
+			r, compression = zr, "gzip"
+		case isXz(head):
+			cmd := exec.Command("xz", "-dc")
+			cmd.Stdin = rest
+			out, err := cmd.StdoutPipe()
+			if err != nil {
+				return nil, fmt.Errorf("trace: xz: %w", err)
+			}
+			if err := cmd.Start(); err != nil {
+				return nil, fmt.Errorf("trace: decompressing xz needs an xz binary on $PATH: %w", err)
+			}
+			closers = append(closers, out)
+			xzCmd = cmd
+			r, compression = out, "xz"
+		default:
+			r = rest
+		}
+	}
+	cb := chunkPool.Get().(*chunkBuf)
+	s, err := newDetectedStream(&readerSource{r: r, buf: cb.raw}, cb, opts)
+	if err != nil {
+		chunkPool.Put(cb)
+		for _, c := range closers {
+			c.Close()
+		}
+		if xzCmd != nil {
+			xzCmd.Wait()
+		}
+		return nil, err
+	}
+	s.closers = append(s.closers, closers...)
+	s.xz = xzCmd
+	s.compression = compression
+	return s, nil
+}
+
+// newDetectedStream detects (or applies) the record format over a raw
+// byte source and finishes construction. cb may be nil (mmap path:
+// decoded chunks still need a home, so one is drawn from the pool).
+func newDetectedStream(src byteSource, cb *chunkBuf, opts streamOpts) (*Stream, error) {
+	if cb == nil {
+		cb = chunkPool.Get().(*chunkBuf)
+	}
+	s := &Stream{src: src, cb: cb, format: opts.format, fillRecs: opts.fillRecs}
+	// Clamp to the raw buffer's capacity in (64-byte) records: asking the
+	// source for more than one buffer per refill would misread a capped
+	// read as truncation.
+	if s.fillRecs <= 0 || s.fillRecs > streamFillRecs {
+		s.fillRecs = streamFillRecs
+	}
+	switch s.format {
+	case FormatNative:
+		if err := s.readNativeHeader(); err != nil {
+			return nil, err
+		}
+	case FormatChampSim:
+		// No header.
+	default:
+		head, err := src.next(len(magic))
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if len(head) == len(magic) && [8]byte(head) == magic {
+			s.format = FormatNative
+			if err := s.readNativeCount(); err != nil {
+				return nil, err
+			}
+		} else {
+			s.format = FormatChampSim
+			// The peeked bytes are the head of the record stream.
+			s.champHead = append(s.champHead[:0], head...)
+		}
+	}
+	return s, nil
+}
+
+// readNativeHeader validates the magic and reads the count, with the
+// exact error surface of NewFileReader (the reference implementation).
+func (s *Stream) readNativeHeader() error {
+	b, err := s.src.next(len(magic))
+	if len(b) != len(magic) {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+			if len(b) == 0 {
+				err = io.EOF
+			}
+		}
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [8]byte(b) != magic {
+		return ErrBadMagic
+	}
+	return s.readNativeCount()
+}
+
+func (s *Stream) readNativeCount() error {
+	b, err := s.src.next(8)
+	if len(b) != 8 {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+			if len(b) == 0 {
+				err = io.EOF
+			}
+		}
+		return fmt.Errorf("trace: reading count: %w", err)
+	}
+	s.count = binary.LittleEndian.Uint64(b)
+	s.hasCount = true
+	return nil
+}
+
+// Format reports the detected (or pinned) record format.
+func (s *Stream) Format() Format { return s.format }
+
+// Compression reports the detected compression layer: "", "gzip" or "xz".
+func (s *Stream) Compression() string { return s.compression }
+
+// Count returns the record count declared in the file header, when the
+// format carries one (native traces). ChampSim traces have no header, so
+// their length is unknown until the stream ends.
+func (s *Stream) Count() (uint64, bool) { return s.count, s.hasCount }
+
+// Err returns the first I/O or format error encountered, if any. It is
+// authoritative once Next has returned false.
+func (s *Stream) Err() error { return s.endErr }
+
+// Next returns the next access, streaming further chunks in as needed. It
+// returns false at end of trace or on error; check Err to distinguish.
+func (s *Stream) Next() (mem.Access, bool) {
+	if s.pos < len(s.chunk) {
+		a := s.chunk[s.pos]
+		s.pos++
+		return a, true
+	}
+	return s.advance()
+}
+
+func (s *Stream) advance() (mem.Access, bool) {
+	for {
+		if s.ended {
+			return mem.Access{}, false
+		}
+		if s.format == FormatNative {
+			s.refillNative()
+		} else {
+			s.refillChampSim()
+		}
+		if s.pos < len(s.chunk) {
+			a := s.chunk[s.pos]
+			s.pos++
+			return a, true
+		}
+	}
+}
+
+// end marks the stream finished, recording err (nil for a clean end). A
+// clean end of an xz-compressed stream additionally reaps the
+// decompressor and surfaces its exit status: EOF on the pipe with a
+// nonzero exit means corrupt or truncated compressed input, which must
+// not pass for a clean (shorter) trace.
+func (s *Stream) end(err error) {
+	s.ended = true
+	if err == nil && s.xz != nil {
+		if werr := s.xz.Wait(); werr != nil {
+			err = fmt.Errorf("trace: xz: %w", werr)
+		}
+		s.xz = nil
+	}
+	if s.endErr == nil {
+		s.endErr = err
+	}
+}
+
+// refillNative decodes the next batch of native records, reproducing
+// FileReader's error surface exactly: records before the offending byte
+// are all delivered; a short body yields "record N: EOF" (nothing of
+// record N arrived) or "record N: unexpected EOF" (a partial record);
+// bytes past the declared count yield the trailing-data error.
+func (s *Stream) refillNative() {
+	s.chunk, s.pos = nil, 0
+	if s.read >= s.count {
+		b, err := s.src.next(1)
+		switch {
+		case len(b) > 0:
+			s.end(fmt.Errorf("trace: trailing data after %d declared records", s.count))
+		case err == nil || err == io.EOF:
+			s.end(nil)
+		default:
+			s.end(fmt.Errorf("trace: after last record: %w", err))
+		}
+		return
+	}
+	want := s.fillRecs
+	if rem := s.count - s.read; uint64(want) > rem {
+		want = int(rem)
+	}
+	b, err := s.src.next(want * recordSize)
+	nRec := len(b) / recordSize
+	for i := 0; i < nRec; i++ {
+		s.cb.acc[i] = decodeNativeRecord(b[i*recordSize:])
+	}
+	s.chunk = s.cb.acc[:nRec]
+	s.read += uint64(nRec)
+	if nRec == want && (err == nil || err == io.EOF) {
+		return
+	}
+	switch {
+	case err != nil && err != io.EOF:
+		s.end(fmt.Errorf("trace: record %d: %w", s.read, err))
+	case len(b)%recordSize != 0:
+		s.end(fmt.Errorf("trace: record %d: %w", s.read, io.ErrUnexpectedEOF))
+	default:
+		s.end(fmt.Errorf("trace: record %d: %w", s.read, io.EOF))
+	}
+}
+
+// refillChampSim decodes ChampSim instruction records until at least one
+// access is produced or the input ends. Instructions without memory
+// operands emit nothing (they accumulate into the next access's Gap), so
+// one refill may consume several raw buffers.
+func (s *Stream) refillChampSim() {
+	n := 0
+	for n == 0 && !s.ended {
+		budget := s.fillRecs * champRecordSize
+		var b []byte
+		var err error
+		if len(s.champHead) > 0 {
+			// Splice the detection bytes onto the front of the stream.
+			b, err = s.src.next(budget - len(s.champHead))
+			b = append(s.champHead, b...)
+			s.champHead = nil
+		} else {
+			b, err = s.src.next(budget)
+		}
+		nRec := len(b) / champRecordSize
+		for i := 0; i < nRec; i++ {
+			n += s.champ.decode(b[i*champRecordSize:(i+1)*champRecordSize], s.cb.acc[n:])
+		}
+		s.read += uint64(nRec)
+		switch {
+		case err != nil && err != io.EOF:
+			s.end(fmt.Errorf("trace: champsim record %d: %w", s.read, err))
+		case len(b)%champRecordSize != 0:
+			s.end(fmt.Errorf("trace: champsim record %d: %w", s.read, io.ErrUnexpectedEOF))
+		case len(b) < budget || err == io.EOF:
+			s.end(nil)
+		}
+	}
+	s.chunk, s.pos = s.cb.acc[:n], 0
+}
+
+// Close releases the stream's resources: pooled buffers, the file
+// mapping, compression layers and the xz process. It is safe to call more
+// than once; only the first call does work.
+func (s *Stream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.ended = true
+	s.chunk = nil
+	var first error
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		if err := s.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.xz != nil {
+		// The stream was abandoned before its end (end() reaps the
+		// normal case); the stdout pipe is closed above, so the process
+		// exits on its next write. Reap it.
+		s.xz.Wait()
+		s.xz = nil
+	}
+	if s.unmap != nil {
+		if err := s.unmap(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cb != nil {
+		chunkPool.Put(s.cb)
+		s.cb = nil
+	}
+	return first
+}
+
+// decodeNativeRecord decodes one native record; rec must hold at least
+// recordSize bytes.
+func decodeNativeRecord(rec []byte) mem.Access {
+	return mem.Access{
+		PC:        mem.Addr(binary.LittleEndian.Uint64(rec[0:])),
+		Addr:      mem.Addr(binary.LittleEndian.Uint64(rec[8:])),
+		Write:     rec[16]&1 != 0,
+		Dependent: rec[16]&2 != 0,
+		Gap:       binary.LittleEndian.Uint16(rec[17:]),
+	}
+}
+
+// peek reads up to n bytes from r and returns them along with a reader
+// that replays them before the rest of r. Only a genuine read error is
+// returned; a short head (tiny input) is not an error here — the format
+// layer decides what a short stream means.
+func peek(r io.Reader, n int) ([]byte, io.Reader, error) {
+	head := make([]byte, n)
+	m, err := io.ReadFull(r, head)
+	head = head[:m]
+	switch err {
+	case nil, io.EOF, io.ErrUnexpectedEOF:
+		return head, &headReader{head: head, r: r}, nil
+	default:
+		return nil, nil, err
+	}
+}
+
+// headReader replays head, then reads from r. (io.MultiReader allocates
+// per call through its indirection; this stays on the stream's hot setup
+// path, so it is a concrete type.)
+type headReader struct {
+	head []byte
+	off  int
+	r    io.Reader
+}
+
+func (h *headReader) Read(p []byte) (int, error) {
+	if h.off < len(h.head) {
+		n := copy(p, h.head[h.off:])
+		h.off += n
+		return n, nil
+	}
+	return h.r.Read(p)
+}

@@ -1,0 +1,435 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"domino/internal/mem"
+)
+
+// chunkedReader delivers at most n bytes per Read call, forcing the
+// stream's refill loop onto arbitrary byte boundaries.
+type chunkedReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+// randomTrace builds a deterministic pseudo-random trace of n accesses
+// with nonzero addresses (so it survives a ChampSim round trip too).
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Append(mem.Access{
+			PC:        mem.Addr(rng.Uint64() | 1),
+			Addr:      mem.Addr(rng.Uint64() | 1),
+			Write:     rng.Intn(2) == 0,
+			Dependent: rng.Intn(4) == 0,
+			Gap:       uint16(rng.Intn(8)),
+		})
+	}
+	return t
+}
+
+func encodeNative(t *Trace) []byte {
+	var buf bytes.Buffer
+	if err := Write(&buf, t); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func sameAccesses(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("got %d accesses, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Accesses {
+		if got.Accesses[i] != want.Accesses[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got.Accesses[i], want.Accesses[i])
+		}
+	}
+}
+
+// TestStreamChunkBoundaryProperty replays random traces through the
+// stream with every interesting refill size (in records) crossed with
+// every interesting io.Reader delivery size (in bytes): the streamed
+// concatenation must equal the Read output exactly.
+func TestStreamChunkBoundaryProperty(t *testing.T) {
+	byteSizes := []int{1, recordSize - 1, recordSize, recordSize + 1, 1 << 16}
+	fillSizes := []int{1, 2, 3, 0} // records per refill; 0 = default
+	for seed := int64(1); seed <= 3; seed++ {
+		want := randomTrace(seed, 10+int(seed)*117)
+		raw := encodeNative(want)
+		for _, bs := range byteSizes {
+			for _, fs := range fillSizes {
+				s, err := newStream(&chunkedReader{r: bytes.NewReader(raw), n: bs}, streamOpts{fillRecs: fs})
+				if err != nil {
+					t.Fatalf("seed=%d bytes=%d fill=%d: %v", seed, bs, fs, err)
+				}
+				if s.Format() != FormatNative {
+					t.Fatalf("detected %v, want native", s.Format())
+				}
+				got := Collect(s, 0)
+				if err := s.Err(); err != nil {
+					t.Fatalf("seed=%d bytes=%d fill=%d: %v", seed, bs, fs, err)
+				}
+				s.Close()
+				sameAccesses(t, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamChampSimChunkBoundaryProperty is the same property over the
+// ChampSim encoding, which additionally exercises the gap-filler records
+// (non-access instructions) straddling refill boundaries.
+func TestStreamChampSimChunkBoundaryProperty(t *testing.T) {
+	byteSizes := []int{1, champRecordSize - 1, champRecordSize, champRecordSize + 1, 1 << 16}
+	fillSizes := []int{1, 2, 3, 0}
+	want := randomTrace(4, 200)
+	for i := range want.Accesses {
+		want.Accesses[i].Dependent = false // no ChampSim representation
+	}
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, bs := range byteSizes {
+		for _, fs := range fillSizes {
+			s, err := newStream(&chunkedReader{r: bytes.NewReader(raw), n: bs}, streamOpts{fillRecs: fs})
+			if err != nil {
+				t.Fatalf("bytes=%d fill=%d: %v", bs, fs, err)
+			}
+			if s.Format() != FormatChampSim {
+				t.Fatalf("detected %v, want champsim", s.Format())
+			}
+			got := Collect(s, 0)
+			if err := s.Err(); err != nil {
+				t.Fatalf("bytes=%d fill=%d: %v", bs, fs, err)
+			}
+			s.Close()
+			sameAccesses(t, got, want)
+		}
+	}
+}
+
+// TestStreamGzipMemberBoundary splits one native trace mid-record across
+// two concatenated gzip members: the decompressed byte stream must be
+// seamless (multistream decoding), yielding the full trace.
+func TestStreamGzipMemberBoundary(t *testing.T) {
+	want := randomTrace(5, 64)
+	raw := encodeNative(want)
+	cut := len(raw)/2 + recordSize/2 // mid-record, mid-file
+	var buf bytes.Buffer
+	for _, part := range [][]byte{raw[:cut], raw[cut:]} {
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(part); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Compression() != "gzip" || s.Format() != FormatNative {
+		t.Fatalf("detected compression=%q format=%v", s.Compression(), s.Format())
+	}
+	got := Collect(s, 0)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, got, want)
+}
+
+// TestStreamTruncatedAndTrailing pins that FileReader's truncation and
+// trailing-garbage detection carries over to the stream verbatim: same
+// records delivered, same error text.
+func TestStreamTruncatedAndTrailing(t *testing.T) {
+	want := randomTrace(6, 5)
+	raw := encodeNative(want)
+	cases := []struct {
+		name    string
+		input   []byte
+		wantN   int
+		wantErr string
+	}{
+		{"truncated final record", raw[:len(raw)-recordSize/2], 4,
+			fmt.Sprintf("trace: record %d: %v", 4, io.ErrUnexpectedEOF)},
+		{"missing final record", raw[:len(raw)-recordSize], 4,
+			fmt.Sprintf("trace: record %d: %v", 4, io.EOF)},
+		{"trailing garbage", append(append([]byte{}, raw...), 0xDE, 0xAD), 5,
+			"trace: trailing data after 5 declared records"},
+	}
+	for _, tc := range cases {
+		for _, fill := range []int{1, 0} {
+			s, err := newStream(bytes.NewReader(tc.input), streamOpts{fillRecs: fill})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			got := Collect(s, 0)
+			if got.Len() != tc.wantN {
+				t.Errorf("%s (fill=%d): delivered %d records before the error, want %d", tc.name, fill, got.Len(), tc.wantN)
+			}
+			if err := s.Err(); err == nil || err.Error() != tc.wantErr {
+				t.Errorf("%s (fill=%d): Err = %v, want %q", tc.name, fill, err, tc.wantErr)
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestStreamChampSimTruncation: a partial final 64-byte record is an
+// error, not silent tail loss.
+func TestStreamChampSimTruncation(t *testing.T) {
+	want := randomTrace(7, 3)
+	for i := range want.Accesses {
+		want.Accesses[i].Dependent = false
+		want.Accesses[i].Gap = 0
+	}
+	var buf bytes.Buffer
+	if err := WriteChampSim(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-champRecordSize/2]
+	s, err := NewStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := Collect(s, 0)
+	if got.Len() != 2 {
+		t.Fatalf("delivered %d accesses before the error, want 2", got.Len())
+	}
+	wantErr := fmt.Sprintf("trace: champsim record %d: %v", 2, io.ErrUnexpectedEOF)
+	if err := s.Err(); err == nil || err.Error() != wantErr {
+		t.Fatalf("Err = %v, want %q", s.Err(), wantErr)
+	}
+}
+
+// TestStreamEmptyInput: zero bytes is a valid, empty ChampSim trace (the
+// format has no header to miss).
+func TestStreamEmptyInput(t *testing.T) {
+	s, err := NewStream(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty input yielded an access")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamCount(t *testing.T) {
+	want := randomTrace(8, 11)
+	s, err := NewStream(bytes.NewReader(encodeNative(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if n, ok := s.Count(); !ok || n != 11 {
+		t.Fatalf("Count = %d,%v, want 11,true", n, ok)
+	}
+}
+
+// openStreamBoth runs the test body against both OpenStream paths: the
+// mmap fast path and the buffered fallback.
+func openStreamBoth(t *testing.T, path string, body func(t *testing.T, s *Stream)) {
+	t.Helper()
+	for _, tc := range []struct {
+		name   string
+		noMmap bool
+	}{{"mmap", false}, {"buffered", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := openStream(path, streamOpts{noMmap: tc.noMmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			body(t, s)
+		})
+	}
+}
+
+func TestOpenStreamNativeFile(t *testing.T) {
+	want := randomTrace(9, 333)
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := os.WriteFile(path, encodeNative(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openStreamBoth(t, path, func(t *testing.T, s *Stream) {
+		got := Collect(s, 0)
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		sameAccesses(t, got, want)
+	})
+}
+
+func TestOpenStreamGzip(t *testing.T) {
+	want := randomTrace(10, 77)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(encodeNative(want))
+	zw.Close()
+	path := filepath.Join(t.TempDir(), "t.trace.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Compression() != "gzip" {
+		t.Fatalf("compression = %q, want gzip", s.Compression())
+	}
+	got := Collect(s, 0)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, got, want)
+}
+
+func TestOpenStreamXz(t *testing.T) {
+	if _, err := exec.LookPath("xz"); err != nil {
+		t.Skip("no xz binary on PATH")
+	}
+	want := randomTrace(11, 55)
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.trace")
+	if err := os.WriteFile(plain, encodeNative(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("xz", plain).CombinedOutput(); err != nil {
+		t.Fatalf("xz: %v: %s", err, out)
+	}
+	s, err := OpenStream(plain + ".xz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Compression() != "xz" {
+		t.Fatalf("compression = %q, want xz", s.Compression())
+	}
+	got := Collect(s, 0)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sameAccesses(t, got, want)
+}
+
+// TestStreamXzCorrupt: corrupt xz input must surface the decompressor's
+// failure, not pass for a clean (shorter) trace.
+func TestStreamXzCorrupt(t *testing.T) {
+	if _, err := exec.LookPath("xz"); err != nil {
+		t.Skip("no xz binary on PATH")
+	}
+	raw := []byte{0xfd, '7', 'z', 'X', 'Z', 0, 1, 2, 3, 4, 5, 6}
+	s, err := NewStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if s.Err() == nil {
+		t.Fatal("corrupt xz input decoded with nil Err")
+	}
+}
+
+// TestStreamZeroSteadyStateAllocs is the allocation contract of the
+// tentpole: once a native stream is up, Next allocates nothing — chunks
+// are recycled in place, whatever the trace length.
+func TestStreamZeroSteadyStateAllocs(t *testing.T) {
+	want := randomTrace(12, 200_000)
+	raw := encodeNative(want)
+	s, err := NewStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Warm up past construction and the first refill.
+	for i := 0; i < 10; i++ {
+		s.Next()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatal("trace exhausted mid-measurement")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Next allocates %.1f times per 1000 calls, want 0", allocs)
+	}
+}
+
+// TestStreamHostileChampSimBytes: arbitrary garbage decodes as ChampSim
+// records (the format is headerless) but can never make the stream
+// allocate chunks beyond its fixed capacity or index out of bounds. A
+// full-arity record storm is the worst case: 6 accesses per 64 bytes.
+func TestStreamHostileChampSimBytes(t *testing.T) {
+	rec := champRecord(1, []uint64{10, 20, 30, 40}, []uint64{50, 60})
+	raw := bytes.Repeat(rec, 3*streamFillRecs)
+	s, err := newStream(bytes.NewReader(raw), streamOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * streamFillRecs * champMaxAccesses; n != want {
+		t.Fatalf("decoded %d accesses, want %d", n, want)
+	}
+}
+
+// TestReadStillRejectsChampSim: the Read-everything API stays pinned to
+// the native format — ChampSim bytes (or any junk) are ErrBadMagic, and
+// gzip input is not silently decompressed.
+func TestReadStillRejectsChampSim(t *testing.T) {
+	rec := champRecord(1, []uint64{10}, nil)
+	if _, err := Read(bytes.NewReader(rec)); err != ErrBadMagic {
+		t.Fatalf("Read(champsim bytes) = %v, want ErrBadMagic", err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(encodeNative(randomTrace(13, 3)))
+	zw.Close()
+	if _, err := Read(&buf); err != ErrBadMagic {
+		t.Fatalf("Read(gzip bytes) = %v, want ErrBadMagic", err)
+	}
+}

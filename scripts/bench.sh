@@ -16,9 +16,12 @@
 # builtin-map on identical workloads), the per-prefetcher training-loop
 # benchmarks (BenchmarkTrainLookup), the serving hot path (plain, with
 # telemetry enabled, and with the full overload-governance stack armed
-# but uncontended — the steady-state price of governance) and the
-# telemetry sinks themselves (enabled and
-# nil-disabled paths). Absolute ns/op gates only apply when
+# but uncontended — the steady-state price of governance), the telemetry
+# sinks themselves (enabled and nil-disabled paths), and the trace
+# ingestion paths (BenchmarkTraceReplayThroughput across the buffered,
+# mmap and ChampSim decoders, plus BenchmarkStreamNext whose allocs/op
+# gate pins the zero-steady-state-allocation contract of the streaming
+# replay). Absolute ns/op gates only apply when
 # the baseline was captured on the same cpu model; the Flat-vs-Map ratio
 # and allocs/op gates apply everywhere. See cmd/benchdiff.
 set -euo pipefail
@@ -33,7 +36,7 @@ trap 'rm -f "$out"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" \
   ./internal/flathash ./internal/digram ./internal/stms ./internal/isb ./internal/ghb \
-  ./internal/serve ./internal/telemetry \
+  ./internal/serve ./internal/telemetry ./internal/trace \
   | tee "$out"
 
 # The lookup-depth analyses allocate a constant number of table headers per
